@@ -1,0 +1,327 @@
+//! Single-walled carbon-nanotube chirality.
+//!
+//! A SWCNT is indexed by the chiral vector `(n, m)` on the graphene
+//! lattice. Everything the paper cares about follows from it:
+//!
+//! * diameter `d = a·√(n² + nm + m²) / π`,
+//! * metallicity: metallic iff `(n − m) mod 3 = 0` (the reason Section V
+//!   needs sorting — roughly 1/3 of random chiralities short the FET),
+//! * for semiconducting tubes the zone-folding bandgap
+//!   `E_g = 2·a_cc·γ₀ / d ≈ 0.85 eV·nm / d`.
+
+use carbon_units::consts::{A_CC, A_LATTICE, GAMMA_0, Q_E};
+use carbon_units::{Energy, Length};
+
+/// Electronic character of a nanotube chirality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metallicity {
+    /// `(n − m) mod 3 = 0`: no useful bandgap; a parasitic short in a FET.
+    Metallic,
+    /// Semiconducting with a diameter-dependent bandgap.
+    Semiconducting,
+}
+
+/// A chiral index `(n, m)` with `n ≥ m ≥ 0`, `n > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_band::chirality::{Chirality, Metallicity};
+///
+/// let c = Chirality::new(13, 0).expect("valid index");
+/// assert_eq!(c.metallicity(), Metallicity::Semiconducting);
+/// assert!((c.diameter().nanometers() - 1.018).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chirality {
+    n: u32,
+    m: u32,
+}
+
+/// Error returned by [`Chirality::new`] for indices outside the canonical
+/// `n ≥ m ≥ 0`, `n > 0` wedge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidChiralityError {
+    n: u32,
+    m: u32,
+}
+
+impl std::fmt::Display for InvalidChiralityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid chirality ({}, {}): requires n ≥ m ≥ 0 and n > 0",
+            self.n, self.m
+        )
+    }
+}
+
+impl std::error::Error for InvalidChiralityError {}
+
+impl Chirality {
+    /// Creates a chirality index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidChiralityError`] unless `n ≥ m` and `n > 0`
+    /// (indices outside that wedge name the same physical tube and are
+    /// rejected rather than silently canonicalized).
+    pub fn new(n: u32, m: u32) -> Result<Self, InvalidChiralityError> {
+        if n == 0 || m > n {
+            Err(InvalidChiralityError { n, m })
+        } else {
+            Ok(Self { n, m })
+        }
+    }
+
+    /// The `n` index.
+    #[inline]
+    pub fn n(self) -> u32 {
+        self.n
+    }
+
+    /// The `m` index.
+    #[inline]
+    pub fn m(self) -> u32 {
+        self.m
+    }
+
+    /// Tube diameter `d = a·√(n² + nm + m²)/π`.
+    pub fn diameter(self) -> Length {
+        let (n, m) = (self.n as f64, self.m as f64);
+        Length::from_meters(A_LATTICE * (n * n + n * m + m * m).sqrt() / std::f64::consts::PI)
+    }
+
+    /// Chiral angle in degrees: 0° for zigzag `(n, 0)`, 30° for armchair
+    /// `(n, n)`.
+    pub fn chiral_angle_degrees(self) -> f64 {
+        let (n, m) = (self.n as f64, self.m as f64);
+        let theta = (3.0_f64.sqrt() * m / (2.0 * n + m)).atan();
+        theta.to_degrees()
+    }
+
+    /// Electronic character from the zone-folding rule.
+    pub fn metallicity(self) -> Metallicity {
+        if (self.n as i64 - self.m as i64).rem_euclid(3) == 0 {
+            Metallicity::Metallic
+        } else {
+            Metallicity::Semiconducting
+        }
+    }
+
+    /// `true` for semiconducting chiralities.
+    #[inline]
+    pub fn is_semiconducting(self) -> bool {
+        self.metallicity() == Metallicity::Semiconducting
+    }
+
+    /// Zone-folding bandgap.
+    ///
+    /// Semiconducting tubes: `E_g = 2·a_cc·γ₀ / d`. Metallic tubes return
+    /// zero (curvature-induced mini-gaps of a few meV are ignored, as in
+    /// the paper's treatment where metallic tubes are simply shorts).
+    pub fn bandgap(self) -> Energy {
+        match self.metallicity() {
+            Metallicity::Metallic => Energy::ZERO,
+            Metallicity::Semiconducting => {
+                let d = self.diameter().meters();
+                Energy::from_joules(2.0 * A_CC * GAMMA_0 / d)
+            }
+        }
+    }
+
+    /// Enumerates all chiralities with diameter in `[d_min, d_max]`
+    /// (meters), the ensemble a synthesis recipe produces.
+    pub fn in_diameter_range(d_min: Length, d_max: Length) -> Vec<Self> {
+        let mut out = Vec::new();
+        // n is bounded because d grows with n: d(n, 0) = a·n/π.
+        let n_max = (d_max.meters() * std::f64::consts::PI / A_LATTICE).ceil() as u32 + 1;
+        for n in 1..=n_max {
+            for m in 0..=n {
+                let c = Self { n, m };
+                let d = c.diameter();
+                if d >= d_min && d <= d_max {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The semiconducting chirality whose bandgap is closest to
+    /// `target_ev` (electron-volts), searching diameters 0.5–4 nm.
+    ///
+    /// Returns `None` only for targets far outside the physical range
+    /// (below ~0.2 eV or above ~1.7 eV).
+    pub fn with_bandgap_near(target_ev: f64) -> Option<Self> {
+        let candidates = Self::in_diameter_range(
+            Length::from_nanometers(0.5),
+            Length::from_nanometers(4.0),
+        );
+        candidates
+            .into_iter()
+            .filter(|c| c.is_semiconducting())
+            .min_by(|a, b| {
+                let da = (a.bandgap().electron_volts() - target_ev).abs();
+                let db = (b.bandgap().electron_volts() - target_ev).abs();
+                da.partial_cmp(&db).expect("bandgaps are finite")
+            })
+            .filter(|c| (c.bandgap().electron_volts() - target_ev).abs() < 0.15)
+    }
+}
+
+impl std::fmt::Display for Chirality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.n, self.m)
+    }
+}
+
+/// The `E_g·d` product of the zone-folding model in eV·nm (≈ 0.85).
+///
+/// Exposed so calibration code and tests can reference the model constant
+/// instead of re-deriving it.
+pub fn bandgap_diameter_product_ev_nm() -> f64 {
+    2.0 * A_CC * GAMMA_0 / Q_E * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_wedge() {
+        assert!(Chirality::new(0, 0).is_err());
+        assert!(Chirality::new(5, 6).is_err());
+        assert!(Chirality::new(6, 6).is_ok());
+        let err = Chirality::new(2, 5).unwrap_err();
+        assert!(err.to_string().contains("invalid chirality"));
+    }
+
+    #[test]
+    fn armchair_is_always_metallic() {
+        for n in 1..20 {
+            let c = Chirality::new(n, n).unwrap();
+            assert_eq!(c.metallicity(), Metallicity::Metallic, "({n},{n})");
+        }
+    }
+
+    #[test]
+    fn zigzag_metallicity_follows_mod3() {
+        for n in 1..30 {
+            let c = Chirality::new(n, 0).unwrap();
+            let expect = if n % 3 == 0 { Metallicity::Metallic } else { Metallicity::Semiconducting };
+            assert_eq!(c.metallicity(), expect, "({n},0)");
+        }
+    }
+
+    #[test]
+    fn known_diameters() {
+        // (10,10) armchair: d ≈ 1.356 nm; (13,0): d ≈ 1.018 nm; (17,0): 1.33 nm.
+        assert!((Chirality::new(10, 10).unwrap().diameter().nanometers() - 1.356).abs() < 0.01);
+        assert!((Chirality::new(13, 0).unwrap().diameter().nanometers() - 1.018).abs() < 0.01);
+        assert!((Chirality::new(17, 0).unwrap().diameter().nanometers() - 1.331).abs() < 0.01);
+    }
+
+    #[test]
+    fn chiral_angle_limits() {
+        assert!((Chirality::new(10, 0).unwrap().chiral_angle_degrees() - 0.0).abs() < 1e-12);
+        assert!((Chirality::new(10, 10).unwrap().chiral_angle_degrees() - 30.0).abs() < 1e-9);
+        let a = Chirality::new(10, 5).unwrap().chiral_angle_degrees();
+        assert!(a > 0.0 && a < 30.0);
+    }
+
+    #[test]
+    fn bandgap_diameter_product_is_about_085() {
+        let p = bandgap_diameter_product_ev_nm();
+        assert!((0.8..0.9).contains(&p), "Eg·d = {p} eV·nm");
+        // A ~1 nm tube has Eg ≈ 0.84 eV, matching the paper's Franklin
+        // device (~1 nm diameter channel).
+        let c = Chirality::new(13, 0).unwrap();
+        assert!((c.bandgap().electron_volts() - p / c.diameter().nanometers()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metallic_bandgap_is_zero() {
+        assert_eq!(Chirality::new(9, 0).unwrap().bandgap(), Energy::ZERO);
+        assert_eq!(Chirality::new(10, 10).unwrap().bandgap(), Energy::ZERO);
+    }
+
+    #[test]
+    fn fig1_bandgap_target_is_reachable() {
+        // The paper's Fig. 1 compares devices with Eg = 0.56 eV, i.e. a
+        // ~1.5 nm tube.
+        let c = Chirality::with_bandgap_near(0.56).unwrap();
+        assert!(c.is_semiconducting());
+        assert!((c.bandgap().electron_volts() - 0.56).abs() < 0.06);
+        assert!((c.diameter().nanometers() - 1.5).abs() < 0.25);
+    }
+
+    #[test]
+    fn unphysical_bandgap_targets_return_none() {
+        assert!(Chirality::with_bandgap_near(0.01).is_none());
+        assert!(Chirality::with_bandgap_near(5.0).is_none());
+    }
+
+    #[test]
+    fn diameter_range_enumeration_is_complete_and_bounded() {
+        let lo = Length::from_nanometers(1.0);
+        let hi = Length::from_nanometers(1.5);
+        let set = Chirality::in_diameter_range(lo, hi);
+        assert!(!set.is_empty());
+        for c in &set {
+            let d = c.diameter();
+            assert!(d >= lo && d <= hi, "{c} d = {} nm", d.nanometers());
+        }
+        // Roughly one third of chiralities are metallic.
+        let metallic = set.iter().filter(|c| !c.is_semiconducting()).count();
+        let frac = metallic as f64 / set.len() as f64;
+        assert!((0.2..0.45).contains(&frac), "metallic fraction {frac}");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Chirality::new(13, 6).unwrap().to_string(), "(13, 6)");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bandgap_scales_inversely_with_diameter(n in 4u32..40, m in 0u32..40) {
+            prop_assume!(m <= n);
+            let c = Chirality::new(n, m).unwrap();
+            if c.is_semiconducting() {
+                let product =
+                    c.bandgap().electron_volts() * c.diameter().nanometers();
+                prop_assert!((product - bandgap_diameter_product_ev_nm()).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn metallicity_rule_is_mod3(n in 1u32..60, m in 0u32..60) {
+            prop_assume!(m <= n);
+            let c = Chirality::new(n, m).unwrap();
+            let metallic = (n as i64 - m as i64) % 3 == 0;
+            prop_assert_eq!(c.metallicity() == Metallicity::Metallic, metallic);
+        }
+
+        #[test]
+        fn diameter_is_positive_and_monotone_in_n(n in 1u32..50) {
+            let c1 = Chirality::new(n, 0).unwrap();
+            let c2 = Chirality::new(n + 1, 0).unwrap();
+            prop_assert!(c1.diameter().meters() > 0.0);
+            prop_assert!(c2.diameter() > c1.diameter());
+        }
+
+        #[test]
+        fn chiral_angle_within_wedge(n in 1u32..40, m in 0u32..40) {
+            prop_assume!(m <= n);
+            let a = Chirality::new(n, m).unwrap().chiral_angle_degrees();
+            prop_assert!((0.0..=30.0 + 1e-9).contains(&a));
+        }
+    }
+}

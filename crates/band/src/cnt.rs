@@ -1,0 +1,196 @@
+//! Carbon-nanotube subband ladder.
+//!
+//! Zone folding of graphene onto a semiconducting tube gives van Hove
+//! subband edges at `Δ₁ : Δ₂ : Δ₃ ≈ 1 : 2 : 4` in units of the half-gap
+//! `E_g/2`, each doubly valley-degenerate (×2 spin → degeneracy 4). The
+//! hyperbolic longitudinal dispersion uses the graphene Fermi velocity.
+//! This is exactly the band model behind the compact CNT-FET simulations
+//! the paper's Fig. 1 reproduces (Ouyang et al. 2006).
+
+use carbon_units::consts::FERMI_VELOCITY;
+use carbon_units::Energy;
+
+use crate::chirality::Chirality;
+use crate::dos::{Band1d, Subband};
+
+/// Zone-folding van Hove ladder of a semiconducting CNT, in units of the
+/// first edge: `Δ_p/Δ₁` for the first three semiconducting subbands.
+const SUBBAND_RATIOS: [f64; 3] = [1.0, 2.0, 4.0];
+
+/// Spin × valley degeneracy of each CNT subband.
+const CNT_DEGENERACY: f64 = 4.0;
+
+/// Band structure of a semiconducting single-walled carbon nanotube.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_band::{Band1d, CntBand};
+/// use carbon_units::Energy;
+///
+/// let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56))?;
+/// assert_eq!(band.subbands().len(), 3);
+/// assert!((band.bandgap().electron_volts() - 0.56).abs() < 1e-12);
+/// # Ok::<(), carbon_band::cnt::MetallicTubeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CntBand {
+    subbands: Vec<Subband>,
+    chirality: Option<Chirality>,
+}
+
+/// Error returned when constructing a [`CntBand`] from a metallic tube or
+/// a non-positive bandgap: a gapless tube has no FET band structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetallicTubeError {
+    gap_ev: f64,
+}
+
+impl std::fmt::Display for MetallicTubeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot build a semiconducting band structure from a gapless tube (E_g = {} eV)",
+            self.gap_ev
+        )
+    }
+}
+
+impl std::error::Error for MetallicTubeError {}
+
+impl CntBand {
+    /// Builds the subband ladder for a given transport bandgap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetallicTubeError`] if the gap is not positive.
+    pub fn from_bandgap(gap: Energy) -> Result<Self, MetallicTubeError> {
+        let gap_ev = gap.electron_volts();
+        if gap_ev <= 0.0 || !gap_ev.is_finite() {
+            return Err(MetallicTubeError { gap_ev });
+        }
+        let half = gap * 0.5;
+        let subbands = SUBBAND_RATIOS
+            .iter()
+            .map(|&r| Subband::new(half * r, CNT_DEGENERACY))
+            .collect();
+        Ok(Self { subbands, chirality: None })
+    }
+
+    /// Builds the ladder from a chirality index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetallicTubeError`] for metallic chiralities
+    /// (`(n − m) mod 3 = 0`).
+    pub fn from_chirality(c: Chirality) -> Result<Self, MetallicTubeError> {
+        let mut band = Self::from_bandgap(c.bandgap())?;
+        band.chirality = Some(c);
+        Ok(band)
+    }
+
+    /// The chirality this band was built from, if any.
+    pub fn chirality(&self) -> Option<Chirality> {
+        self.chirality
+    }
+}
+
+impl Band1d for CntBand {
+    fn subbands(&self) -> &[Subband] {
+        &self.subbands
+    }
+
+    fn velocity(&self) -> f64 {
+        FERMI_VELOCITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carbon_units::Temperature;
+
+    #[test]
+    fn ladder_has_zone_folding_ratios() {
+        let b = CntBand::from_bandgap(Energy::from_electron_volts(0.56)).unwrap();
+        let edges: Vec<f64> = b.subbands().iter().map(|s| s.edge.electron_volts()).collect();
+        assert!((edges[0] - 0.28).abs() < 1e-12);
+        assert!((edges[1] / edges[0] - 2.0).abs() < 1e-12);
+        assert!((edges[2] / edges[0] - 4.0).abs() < 1e-12);
+        assert!(b.subbands().iter().all(|s| s.degeneracy == 4.0));
+    }
+
+    #[test]
+    fn rejects_gapless() {
+        assert!(CntBand::from_bandgap(Energy::ZERO).is_err());
+        assert!(CntBand::from_bandgap(Energy::from_electron_volts(-0.1)).is_err());
+        let m = Chirality::new(9, 0).unwrap();
+        let err = CntBand::from_chirality(m).unwrap_err();
+        assert!(err.to_string().contains("gapless"));
+    }
+
+    #[test]
+    fn from_chirality_keeps_index() {
+        let c = Chirality::new(13, 0).unwrap();
+        let b = CntBand::from_chirality(c).unwrap();
+        assert_eq!(b.chirality(), Some(c));
+        assert!((b.bandgap().electron_volts() - c.bandgap().electron_volts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_subband_contributes_at_high_energy() {
+        let b = CntBand::from_bandgap(Energy::from_electron_volts(0.56)).unwrap();
+        let t = Temperature::room();
+        // Current below the 2nd edge vs just above it grows faster than
+        // the single-band closed form would predict.
+        let mu_lo = Energy::from_electron_volts(0.3);
+        let mu_hi = Energy::from_electron_volts(0.9);
+        let i_lo = b.directed_current(mu_lo, t);
+        let i_hi = b.directed_current(mu_hi, t);
+        // Single-band estimate for mu_hi:
+        let single = CntBand {
+            subbands: vec![Subband::new(Energy::from_electron_volts(0.28), 4.0)],
+            chirality: None,
+        };
+        let i_hi_single = single.directed_current(mu_hi, t);
+        assert!(i_hi > i_hi_single, "second subband adds current");
+        assert!(i_hi > i_lo);
+    }
+
+    #[test]
+    fn velocity_is_graphene_fermi_velocity() {
+        let b = CntBand::from_bandgap(Energy::from_electron_volts(0.8)).unwrap();
+        assert!((b.velocity() - FERMI_VELOCITY).abs() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ladder_is_sorted_and_positive(gap_mev in 100.0_f64..1500.0) {
+            let b = CntBand::from_bandgap(Energy::from_electron_volts(gap_mev / 1e3)).unwrap();
+            let edges: Vec<f64> =
+                b.subbands().iter().map(|s| s.edge.joules()).collect();
+            prop_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(edges[0] > 0.0);
+        }
+
+        #[test]
+        fn directed_current_monotone_in_mu(
+            gap_mev in 200.0_f64..1200.0,
+            mu1 in -0.5_f64..1.0,
+            dmu in 0.001_f64..0.5,
+        ) {
+            let b = CntBand::from_bandgap(Energy::from_electron_volts(gap_mev / 1e3)).unwrap();
+            let t = carbon_units::Temperature::room();
+            let i1 = b.directed_current(Energy::from_electron_volts(mu1), t);
+            let i2 = b.directed_current(Energy::from_electron_volts(mu1 + dmu), t);
+            prop_assert!(i2 >= i1);
+            prop_assert!(i1 >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! One-dimensional subband ladders, density of states, carrier
+//! statistics, and quantum capacitance.
+//!
+//! Both CNTs and GNRs are quasi-1-D conductors whose low-energy physics is
+//! a set of hyperbolic subbands
+//!
+//! ```text
+//! E_i(k) = ±√(Δ_i² + (ħ·v_F·k)²)
+//! ```
+//!
+//! measured from the intrinsic (mid-gap) level, where `Δ_i` is the i-th
+//! subband half-gap. The [`Band1d`] trait captures exactly that structure;
+//! [`CntBand`](crate::CntBand) and [`GnrBand`](crate::GnrBand) implement
+//! it, and the ballistic transport model in `carbon-devices` is written
+//! against the trait so the paper's Fig. 1 "same band-gap, same model, CNT
+//! vs GNR" comparison is a one-line swap.
+
+use carbon_units::consts::{HBAR, PLANCK_H, Q_E};
+use carbon_units::{Energy, Temperature};
+
+use crate::math::{fermi, fermi_kernel, integrate, log1pexp};
+
+/// One hyperbolic subband: conduction-band minimum `Δ` above mid-gap and
+/// its total degeneracy (spin included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subband {
+    /// Conduction-band edge measured from mid-gap (the subband half-gap).
+    pub edge: Energy,
+    /// Total degeneracy of the subband, spin included (4 for the first
+    /// CNT subbands — spin × K/K′ valley; 2 for armchair GNR subbands).
+    pub degeneracy: f64,
+}
+
+impl Subband {
+    /// Creates a subband.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is negative or the degeneracy is not positive.
+    pub fn new(edge: Energy, degeneracy: f64) -> Self {
+        assert!(edge.joules() >= 0.0, "subband edge must be ≥ 0 (measured from mid-gap)");
+        assert!(degeneracy > 0.0, "degeneracy must be positive");
+        Self { edge, degeneracy }
+    }
+}
+
+/// A particle-hole-symmetric quasi-1-D band structure described by a
+/// ladder of hyperbolic subbands sharing one band-edge velocity.
+///
+/// The default methods supply everything the compact models need: density
+/// of states, line carrier densities, quantum capacitance, and the
+/// closed-form directed thermal current of a 1-D mode.
+pub trait Band1d {
+    /// The subband ladder, sorted by ascending edge energy.
+    fn subbands(&self) -> &[Subband];
+
+    /// Asymptotic band velocity `v_F` of the hyperbolic dispersion, m/s.
+    fn velocity(&self) -> f64;
+
+    /// The transport bandgap `E_g = 2·Δ₁`.
+    fn bandgap(&self) -> Energy {
+        self.subbands()
+            .first()
+            .map(|s| s.edge * 2.0)
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Density of states per unit length at energy `e` above mid-gap,
+    /// 1/(J·m). Zero inside the gap; the van Hove singularity at each edge
+    /// is integrable.
+    fn dos(&self, e: Energy) -> f64 {
+        let e = e.joules().abs();
+        let v = self.velocity();
+        self.subbands()
+            .iter()
+            .filter(|s| e > s.edge.joules())
+            .map(|s| {
+                let d = s.edge.joules();
+                s.degeneracy * e / (std::f64::consts::PI * HBAR * v * (e * e - d * d).sqrt())
+            })
+            .sum()
+    }
+
+    /// Electron line density (1/m) for Fermi level `mu` above mid-gap at
+    /// temperature `t`.
+    fn electron_density(&self, mu: Energy, t: Temperature) -> f64 {
+        let kt = t.thermal_energy().joules();
+        let mu = mu.joules();
+        let v = self.velocity();
+        self.subbands()
+            .iter()
+            .map(|s| {
+                let d = s.edge.joules();
+                // Substitute E = Δ·cosh(u) to remove the van Hove
+                // singularity: D(E)dE = g/(πħv)·Δ·cosh(u) du.
+                let pref = s.degeneracy / (std::f64::consts::PI * HBAR * v);
+                // Integrate far enough that the Fermi tail is gone.
+                let e_max = (mu.max(d) + 40.0 * kt).max(d * 1.5);
+                let u_max = ((e_max / d.max(1e-30)) + ((e_max / d.max(1e-30)).powi(2) - 1.0).max(0.0).sqrt()).ln();
+                if d <= 0.0 {
+                    // Gapless subband: DOS is constant g/(πħv).
+                    return pref * kt * log1pexp(mu / kt);
+                }
+                integrate(
+                    |u| {
+                        let e = d * u.cosh();
+                        d * u.cosh() * fermi((e - mu) / kt)
+                    },
+                    0.0,
+                    u_max.max(1e-6),
+                    1e-9 * d.max(kt),
+                ) * pref
+            })
+            .sum()
+    }
+
+    /// Hole line density (1/m); by particle-hole symmetry
+    /// `p(µ) = n(−µ)`.
+    fn hole_density(&self, mu: Energy, t: Temperature) -> f64 {
+        self.electron_density(-mu, t)
+    }
+
+    /// Quantum capacitance per unit length, F/m:
+    /// `C_q = q²·∂(n − p)/∂µ`, evaluated by integrating the thermal
+    /// broadening kernel against the DOS (electrons and holes).
+    fn quantum_capacitance(&self, mu: Energy, t: Temperature) -> f64 {
+        let kt = t.thermal_energy().joules();
+        let mu_j = mu.joules();
+        let v = self.velocity();
+        let per_carrier = |sign: f64| -> f64 {
+            self.subbands()
+                .iter()
+                .map(|s| {
+                    let d = s.edge.joules();
+                    let pref = s.degeneracy / (std::f64::consts::PI * HBAR * v);
+                    let m = sign * mu_j;
+                    if d <= 0.0 {
+                        return pref * fermi(-m / kt);
+                    }
+                    let e_max = (m.max(d) + 40.0 * kt).max(d * 1.5);
+                    let r = e_max / d;
+                    let u_max = (r + (r * r - 1.0).max(0.0).sqrt()).ln().max(1e-6);
+                    integrate(
+                        |u| d * u.cosh() * fermi_kernel((d * u.cosh() - m) / kt) / kt,
+                        0.0,
+                        u_max,
+                        1e-9 * d.max(kt) / kt,
+                    ) * pref
+                })
+                .sum()
+        };
+        Q_E * Q_E * (per_carrier(1.0) + per_carrier(-1.0))
+    }
+
+    /// Directed thermal current of the +k movers, in amperes, for a
+    /// contact Fermi level `mu` above mid-gap:
+    ///
+    /// ```text
+    /// I⁺ = Σ_i g_i·(q/h)·∫_{Δ_i}^∞ f(E; µ) dE
+    ///    = Σ_i g_i·(q·kT/h)·ln(1 + exp((µ − Δ_i)/kT))
+    /// ```
+    ///
+    /// In one dimension the velocity and DOS factors cancel, so this is a
+    /// closed form independent of the dispersion details — the property
+    /// that makes the top-of-barrier ballistic model tractable.
+    fn directed_current(&self, mu: Energy, t: Temperature) -> f64 {
+        let kt = t.thermal_energy().joules();
+        let mu = mu.joules();
+        self.subbands()
+            .iter()
+            .map(|s| s.degeneracy * (Q_E * kt / PLANCK_H) * log1pexp((mu - s.edge.joules()) / kt))
+            .sum()
+    }
+
+    /// Directed electron line density of the +k movers, 1/m (half the
+    /// total density of a symmetric reservoir).
+    fn directed_density(&self, mu: Energy, t: Temperature) -> f64 {
+        0.5 * self.electron_density(mu, t)
+    }
+
+    /// Average injection velocity of the +k movers, m/s:
+    /// `v_inj = I⁺ / (q · n⁺)`.
+    ///
+    /// This is the §I quantity that replaces mobility in short-channel
+    /// devices ("injection velocity of the charge carrier in the source
+    /// region is more important"). For a gapless 1-D band it approaches
+    /// the band velocity; for a gapped band it is thermally limited in
+    /// the non-degenerate regime and rises toward the band velocity
+    /// under degenerate bias.
+    fn injection_velocity(&self, mu: Energy, t: Temperature) -> f64 {
+        let n_plus = self.directed_density(mu, t);
+        if n_plus <= 0.0 {
+            return 0.0;
+        }
+        self.directed_current(mu, t) / (carbon_units::consts::Q_E * n_plus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carbon_units::consts::{FERMI_VELOCITY, K_B};
+
+    /// A single-subband test band with CNT-like parameters.
+    struct TestBand {
+        subbands: Vec<Subband>,
+    }
+
+    impl Band1d for TestBand {
+        fn subbands(&self) -> &[Subband] {
+            &self.subbands
+        }
+        fn velocity(&self) -> f64 {
+            FERMI_VELOCITY
+        }
+    }
+
+    fn one_band(gap_ev: f64) -> TestBand {
+        TestBand {
+            subbands: vec![Subband::new(Energy::from_electron_volts(gap_ev / 2.0), 4.0)],
+        }
+    }
+
+    #[test]
+    fn dos_is_zero_in_gap_and_diverges_at_edge() {
+        let b = one_band(0.56);
+        assert_eq!(b.dos(Energy::from_electron_volts(0.1)), 0.0);
+        assert_eq!(b.dos(Energy::ZERO), 0.0);
+        let just_above = b.dos(Energy::from_electron_volts(0.2801));
+        let far_above = b.dos(Energy::from_electron_volts(0.56));
+        assert!(just_above > far_above, "van Hove peak at the edge");
+        assert!(far_above > 0.0);
+    }
+
+    #[test]
+    fn dos_symmetric_in_energy_sign() {
+        let b = one_band(0.56);
+        let e = Energy::from_electron_volts(0.4);
+        assert_eq!(b.dos(e), b.dos(-e));
+    }
+
+    #[test]
+    fn bandgap_reported_from_first_subband() {
+        let b = one_band(0.56);
+        assert!((b.bandgap().electron_volts() - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn electron_density_increases_with_fermi_level() {
+        let b = one_band(0.56);
+        let t = Temperature::room();
+        let n0 = b.electron_density(Energy::ZERO, t);
+        let n1 = b.electron_density(Energy::from_electron_volts(0.2), t);
+        let n2 = b.electron_density(Energy::from_electron_volts(0.4), t);
+        assert!(n0 < n1 && n1 < n2);
+        assert!(n0 > 0.0, "thermal tail population is nonzero");
+    }
+
+    #[test]
+    fn hole_density_mirrors_electron_density() {
+        let b = one_band(0.56);
+        let t = Temperature::room();
+        let mu = Energy::from_electron_volts(0.13);
+        assert!((b.hole_density(mu, t) - b.electron_density(-mu, t)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_density_matches_zero_temperature_count() {
+        // At µ well above the edge and low T, n ≈ ∫ D dE which for the
+        // hyperbolic band gives (g/πħv)·√(µ² − Δ²).
+        let b = one_band(0.4);
+        let t = Temperature::from_kelvin(10.0);
+        let mu = Energy::from_electron_volts(0.5);
+        let n = b.electron_density(mu, t);
+        let d = 0.2 * carbon_units::consts::Q_E;
+        let m = 0.5 * carbon_units::consts::Q_E;
+        let exact = 4.0 / (std::f64::consts::PI * HBAR * FERMI_VELOCITY) * (m * m - d * d).sqrt();
+        assert!(
+            (n - exact).abs() / exact < 1e-3,
+            "n = {n:.4e}, exact = {exact:.4e}"
+        );
+    }
+
+    #[test]
+    fn directed_current_closed_form_limits() {
+        let b = one_band(0.56);
+        let t = Temperature::room();
+        // Deep subthreshold: I⁺ ∝ exp((µ − Δ)/kT).
+        let i1 = b.directed_current(Energy::from_electron_volts(-0.1), t);
+        let i2 = b.directed_current(Energy::from_electron_volts(-0.1 + 0.0595), t);
+        // One thermal decade per 59.5 meV.
+        assert!((i2 / i1 - 10.0).abs() < 0.5, "ratio {}", i2 / i1);
+        // Degenerate limit: I⁺ ≈ g·(q/h)·(µ − Δ).
+        let mu = Energy::from_electron_volts(1.0);
+        let i = b.directed_current(mu, t);
+        let lin = 4.0 * Q_E / PLANCK_H * (1.0 - 0.28) * Q_E;
+        assert!((i - lin).abs() / lin < 0.01);
+    }
+
+    #[test]
+    fn quantum_capacitance_peaks_near_band_edge() {
+        let b = one_band(0.56);
+        let t = Temperature::room();
+        let cq_gap = b.quantum_capacitance(Energy::ZERO, t);
+        let cq_edge = b.quantum_capacitance(Energy::from_electron_volts(0.28), t);
+        assert!(cq_edge > cq_gap * 10.0);
+        // Magnitude sanity: CNT Cq near the edge is of order 1e-10 F/m
+        // (a few pF/cm).
+        assert!(cq_edge > 1e-11 && cq_edge < 1e-8, "Cq = {cq_edge:.3e}");
+    }
+
+    #[test]
+    fn quantum_capacitance_symmetric() {
+        let b = one_band(0.56);
+        let t = Temperature::room();
+        let mu = Energy::from_electron_volts(0.17);
+        let a = b.quantum_capacitance(mu, t);
+        let bb = b.quantum_capacitance(-mu, t);
+        assert!((a - bb).abs() / a < 1e-6);
+    }
+
+    #[test]
+    fn gapless_band_density_is_finite() {
+        let b = TestBand {
+            subbands: vec![Subband::new(Energy::ZERO, 4.0)],
+        };
+        let t = Temperature::room();
+        let n = b.electron_density(Energy::from_electron_volts(0.1), t);
+        // Metallic 1-D: n = (g/πħv)·kT·ln(1+e^{µ/kT}) ≈ g·µ/(πħv) for µ≫kT.
+        let exact = 4.0 * 0.1 * Q_E / (std::f64::consts::PI * HBAR * FERMI_VELOCITY);
+        assert!((n - exact).abs() / exact < 0.05, "n = {n:.3e} vs {exact:.3e}");
+        let _ = K_B; // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn injection_velocity_rises_toward_band_velocity() {
+        let b = one_band(0.56);
+        let t = Temperature::room();
+        let v_sub = b.injection_velocity(Energy::from_electron_volts(0.1), t);
+        let v_on = b.injection_velocity(Energy::from_electron_volts(0.5), t);
+        let v_deg = b.injection_velocity(Energy::from_electron_volts(1.5), t);
+        assert!(v_sub > 0.0);
+        assert!(v_on > v_sub, "degenerate bias speeds injection");
+        assert!(v_deg > v_on);
+        assert!(
+            v_deg < FERMI_VELOCITY * 1.01,
+            "bounded by the band velocity: {v_deg:.3e} vs {FERMI_VELOCITY:.3e}"
+        );
+        // CNT injection velocities are a few 10⁷ cm/s = a few 10⁵ m/s:
+        // well above silicon's ~1.3·10⁵ m/s thermal velocity.
+        assert!(v_on > 2e5, "v_inj = {v_on:.3e} m/s");
+    }
+
+    #[test]
+    fn injection_velocity_zero_without_carriers() {
+        let b = one_band(0.56);
+        // Absurdly deep subthreshold at low temperature: zero density.
+        let v = b.injection_velocity(
+            Energy::from_electron_volts(-3.0),
+            Temperature::from_kelvin(20.0),
+        );
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degeneracy")]
+    fn subband_rejects_nonpositive_degeneracy() {
+        let _ = Subband::new(Energy::from_electron_volts(0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge")]
+    fn subband_rejects_negative_edge() {
+        let _ = Subband::new(Energy::from_electron_volts(-0.1), 2.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Armchair graphene-nanoribbon (AGNR) band structure from
+//! nearest-neighbour tight binding.
+//!
+//! Cutting graphene into an armchair ribbon of `N` dimer lines quantizes
+//! the transverse wavevector to `θ_j = j·π/(N+1)`. At the zone centre the
+//! subband edges are
+//!
+//! ```text
+//! E_j = γ₀·|1 + 2·cos θ_j|,   j = 1..N
+//! ```
+//!
+//! which reproduces the three width families the paper discusses: ribbons
+//! with `N mod 3 = 2` are (nearest-neighbour) metallic, the other two
+//! families open a gap that scales as `1/width`. The paper's reference
+//! case — a 2.1 nm ribbon with `E_g = 0.56 eV` (Ouyang et al.) — is the
+//! `N = 18` ribbon of this model.
+//!
+//! Subbands carry spin degeneracy 2 only: unlike the CNT there is no
+//! valley degeneracy, which is the main band-structure difference between
+//! the two Fig. 1 devices.
+
+use carbon_units::consts::{A_LATTICE, FERMI_VELOCITY, GAMMA_0};
+use carbon_units::{Energy, Length};
+
+use crate::dos::{Band1d, Subband};
+
+/// Spin degeneracy of an AGNR subband.
+const GNR_DEGENERACY: f64 = 2.0;
+
+/// How many subbands to keep in the ladder (the transport window of the
+/// paper's simulations never reaches past the first few).
+const MAX_SUBBANDS: usize = 6;
+
+/// Band structure of an armchair graphene nanoribbon.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_band::{Band1d, GnrBand};
+///
+/// // The paper's 2.1 nm / 0.56 eV reference ribbon.
+/// let gnr = GnrBand::armchair(18)?;
+/// assert!((gnr.width().nanometers() - 2.09).abs() < 0.02);
+/// assert!((gnr.bandgap().electron_volts() - 0.55).abs() < 0.02);
+/// # Ok::<(), carbon_band::gnr::BuildGnrError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnrBand {
+    n_dimer: u32,
+    subbands: Vec<Subband>,
+}
+
+/// Error building a [`GnrBand`]: the ribbon is too narrow or belongs to
+/// the (nearest-neighbour) metallic `N mod 3 = 2` family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildGnrError {
+    /// `N < 3`: not a ribbon.
+    TooNarrow {
+        /// The offending dimer count.
+        n_dimer: u32,
+    },
+    /// `N mod 3 = 2`: gapless in nearest-neighbour tight binding, so there
+    /// is no semiconducting band structure to build.
+    MetallicFamily {
+        /// The offending dimer count.
+        n_dimer: u32,
+    },
+}
+
+impl std::fmt::Display for BuildGnrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooNarrow { n_dimer } => {
+                write!(f, "armchair ribbon needs at least 3 dimer lines, got {n_dimer}")
+            }
+            Self::MetallicFamily { n_dimer } => write!(
+                f,
+                "N = {n_dimer} belongs to the metallic 3p+2 family (no bandgap in nearest-neighbour tight binding)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildGnrError {}
+
+impl GnrBand {
+    /// Builds the tight-binding band ladder of an `N`-dimer armchair
+    /// ribbon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildGnrError::TooNarrow`] for `N < 3` and
+    /// [`BuildGnrError::MetallicFamily`] for the gapless `N mod 3 = 2`
+    /// family.
+    pub fn armchair(n_dimer: u32) -> Result<Self, BuildGnrError> {
+        if n_dimer < 3 {
+            return Err(BuildGnrError::TooNarrow { n_dimer });
+        }
+        if n_dimer % 3 == 2 {
+            return Err(BuildGnrError::MetallicFamily { n_dimer });
+        }
+        let mut edges: Vec<f64> = (1..=n_dimer)
+            .map(|j| {
+                let theta = j as f64 * std::f64::consts::PI / (n_dimer as f64 + 1.0);
+                GAMMA_0 * (1.0 + 2.0 * theta.cos()).abs()
+            })
+            .collect();
+        edges.sort_by(|a, b| a.partial_cmp(b).expect("finite edges"));
+        edges.truncate(MAX_SUBBANDS);
+        let subbands = edges
+            .into_iter()
+            .map(|e| Subband::new(Energy::from_joules(e), GNR_DEGENERACY))
+            .collect();
+        Ok(Self { n_dimer, subbands })
+    }
+
+    /// Picks the semiconducting armchair ribbon whose bandgap is closest
+    /// to `target_ev` electron-volts, searching `N = 3..=150`
+    /// (widths up to ~18 nm). Returns `None` if nothing lands within
+    /// 0.15 eV.
+    pub fn with_bandgap_near(target_ev: f64) -> Option<Self> {
+        (3..=150)
+            .filter_map(|n| Self::armchair(n).ok())
+            .min_by(|a, b| {
+                let da = (a.bandgap().electron_volts() - target_ev).abs();
+                let db = (b.bandgap().electron_volts() - target_ev).abs();
+                da.partial_cmp(&db).expect("finite gaps")
+            })
+            .filter(|g| (g.bandgap().electron_volts() - target_ev).abs() < 0.15)
+    }
+
+    /// Number of dimer lines `N`.
+    pub fn n_dimer(&self) -> u32 {
+        self.n_dimer
+    }
+
+    /// Geometric ribbon width `w = (N − 1)·a/2`.
+    pub fn width(&self) -> Length {
+        Length::from_meters((self.n_dimer as f64 - 1.0) * A_LATTICE / 2.0)
+    }
+}
+
+impl Band1d for GnrBand {
+    fn subbands(&self) -> &[Subband] {
+        &self.subbands
+    }
+
+    fn velocity(&self) -> f64 {
+        FERMI_VELOCITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_ribbon_n18() {
+        // 2.1 nm wide, Eg = 0.56 eV in the paper (Ouyang et al. device).
+        let g = GnrBand::armchair(18).unwrap();
+        assert!((g.width().nanometers() - 2.09).abs() < 0.02, "w = {}", g.width().nanometers());
+        let eg = g.bandgap().electron_volts();
+        assert!((eg - 0.555).abs() < 0.02, "Eg = {eg}");
+    }
+
+    #[test]
+    fn family_classification() {
+        // 3p and 3p+1 are semiconducting; 3p+2 metallic.
+        assert!(GnrBand::armchair(9).is_ok());
+        assert!(GnrBand::armchair(10).is_ok());
+        assert!(matches!(
+            GnrBand::armchair(11),
+            Err(BuildGnrError::MetallicFamily { n_dimer: 11 })
+        ));
+        assert!(matches!(GnrBand::armchair(2), Err(BuildGnrError::TooNarrow { .. })));
+    }
+
+    #[test]
+    fn gap_shrinks_with_width_within_family() {
+        let gaps: Vec<f64> = [9u32, 12, 15, 18, 21, 24]
+            .iter()
+            .map(|&n| GnrBand::armchair(n).unwrap().bandgap().electron_volts())
+            .collect();
+        assert!(gaps.windows(2).all(|w| w[1] < w[0]), "gaps: {gaps:?}");
+    }
+
+    #[test]
+    fn sub_10nm_ribbons_have_large_gaps() {
+        // The paper: "Sub-10 nm width GNR show Ion/Ioff ratio of 10^6" —
+        // which requires Eg well above kT. Check ~5 nm ribbon.
+        let g = GnrBand::with_bandgap_near(0.25).unwrap();
+        assert!(g.width().nanometers() < 10.0);
+        assert!(g.bandgap().electron_volts() > 0.15);
+    }
+
+    #[test]
+    fn degeneracy_is_spin_only() {
+        let g = GnrBand::armchair(18).unwrap();
+        assert!(g.subbands().iter().all(|s| s.degeneracy == 2.0));
+    }
+
+    #[test]
+    fn subband_count_truncated() {
+        let g = GnrBand::armchair(99).unwrap();
+        assert!(g.subbands().len() <= MAX_SUBBANDS);
+    }
+
+    #[test]
+    fn with_bandgap_near_finds_fig1_twin() {
+        let g = GnrBand::with_bandgap_near(0.56).unwrap();
+        assert_eq!(g.n_dimer(), 18);
+    }
+
+    #[test]
+    fn with_bandgap_near_rejects_unphysical() {
+        assert!(GnrBand::with_bandgap_near(8.0).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn semiconducting_families_have_positive_sorted_gaps(p in 1u32..40) {
+            for n in [3 * p, 3 * p + 1] {
+                let g = GnrBand::armchair(n).unwrap();
+                let edges: Vec<f64> =
+                    g.subbands().iter().map(|s| s.edge.joules()).collect();
+                prop_assert!(edges[0] > 0.0);
+                prop_assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+
+        #[test]
+        fn metallic_family_always_rejected(p in 1u32..40) {
+            prop_assert!(GnrBand::armchair(3 * p + 2).is_err());
+        }
+
+        #[test]
+        fn gap_width_product_bounded(p in 3u32..40) {
+            // Eg·w stays in a physical envelope (~0.6–1.1 eV·nm for the
+            // 3p family, up to ~1.4 for 3p+1) — the "≈ 1 eV·nm" rule of
+            // thumb cited for GNRs.
+            for n in [3 * p, 3 * p + 1] {
+                let g = GnrBand::armchair(n).unwrap();
+                let prod = g.bandgap().electron_volts() * g.width().nanometers();
+                prop_assert!((0.3..2.0).contains(&prod), "N = {}, Eg·w = {prod}", n);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Band structure and carrier statistics for carbon nanomaterials.
+//!
+//! This crate implements the electronic-structure substrate the paper's
+//! device simulations stand on:
+//!
+//! * [`chirality`] — single-walled carbon-nanotube chirality `(n, m)`:
+//!   diameter, chiral angle, the metallicity rule `(n − m) mod 3`, and the
+//!   zone-folding bandgap `E_g ≈ 2·a_cc·γ₀ / d`,
+//! * [`cnt`] — CNT subband ladder and hyperbolic 1-D dispersion,
+//! * [`gnr`] — armchair graphene-nanoribbon bands from nearest-neighbour
+//!   tight binding (the three `N mod 3` families),
+//! * [`dos`] — 1-D density of states, line carrier density, and quantum
+//!   capacitance for any [`Band1d`],
+//! * [`math`] — the numerical kernel shared by the workspace: stable
+//!   Fermi functions, adaptive Simpson integration, Brent root finding.
+//!
+//! # Examples
+//!
+//! Find a chirality with the paper's Fig. 1 bandgap of 0.56 eV:
+//!
+//! ```
+//! use carbon_band::chirality::Chirality;
+//!
+//! let c = Chirality::with_bandgap_near(0.56).expect("semiconducting tube exists");
+//! assert!(c.is_semiconducting());
+//! assert!((c.bandgap().electron_volts() - 0.56).abs() < 0.06);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chirality;
+pub mod cnt;
+pub mod dos;
+pub mod gnr;
+pub mod math;
+
+pub use chirality::Chirality;
+pub use cnt::CntBand;
+pub use dos::{Band1d, Subband};
+pub use gnr::GnrBand;

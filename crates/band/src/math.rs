@@ -1,0 +1,357 @@
+//! Numerical kernel shared by the workspace: stable exponential helpers,
+//! Fermi-Dirac functions, adaptive Simpson quadrature, and Brent's root
+//! finder.
+//!
+//! The compact device models and the electrostatics closures all reduce to
+//! one-dimensional integrals and one-dimensional root finding; this module
+//! is the single implementation they share. No external linear-algebra or
+//! special-function crates are used (see DESIGN.md §2).
+
+/// Numerically stable `ln(1 + e^x)`.
+///
+/// For large positive `x` this is `x + e^(−x)`; for large negative `x` it
+/// is `e^x`. The naive form overflows for `x ≳ 700`.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_band::math::log1pexp;
+///
+/// assert!((log1pexp(0.0) - std::f64::consts::LN_2).abs() < 1e-15);
+/// assert_eq!(log1pexp(1000.0), 1000.0);
+/// assert!(log1pexp(-1000.0) >= 0.0);
+/// ```
+#[inline]
+pub fn log1pexp(x: f64) -> f64 {
+    if x > 35.0 {
+        // e^(−x) < 7e-16: below f64 resolution relative to x.
+        x
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// The Fermi-Dirac occupation `f(x) = 1 / (1 + e^x)` with
+/// `x = (E − µ)/kT`, evaluated without overflow for any finite `x`.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_band::math::fermi;
+///
+/// assert_eq!(fermi(0.0), 0.5);
+/// assert!(fermi(40.0) < 1e-17);
+/// assert!(fermi(-40.0) >= 1.0 - 1e-16);
+/// ```
+#[inline]
+pub fn fermi(x: f64) -> f64 {
+    if x > 35.0 {
+        (-x).exp()
+    } else if x < -35.0 {
+        1.0 - x.exp()
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Derivative of the Fermi function, `df/dx = −f·(1−f)` (returned as the
+/// positive quantity `f·(1−f)`, the thermal broadening kernel).
+#[inline]
+pub fn fermi_kernel(x: f64) -> f64 {
+    let f = fermi(x);
+    f * (1.0 - f)
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]`.
+///
+/// Recursion depth is capped at 18 (≤ 2¹⁸ panels) and the absolute
+/// tolerance `tol` is distributed over subintervals with a floor at the
+/// f64 roundoff level of the running estimate, which keeps the smooth
+/// Fermi-broadened integrands in this workspace cheap while preventing
+/// the exponential blow-up a sub-roundoff tolerance would otherwise
+/// cause.
+///
+/// # Panics
+///
+/// Panics if `tol` is not positive or `a`/`b` are not finite.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+    if a == b {
+        return 0.0;
+    }
+    let c = 0.5 * (a + b);
+    let fa = f(a);
+    let fb = f(b);
+    let fc = f(c);
+    let whole = simpson(a, b, fa, fc, fb);
+    // Tolerances below the roundoff floor of the estimate are
+    // unreachable; clamp so the recursion terminates.
+    let floor = whole.abs() * 1e-14;
+    adaptive(&f, a, b, fa, fb, fc, whole, tol.max(floor), 18)
+}
+
+#[inline]
+fn simpson(a: f64, b: f64, fa: f64, fc: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fc + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fb: f64,
+    fc: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let c = 0.5 * (a + b);
+    let d = 0.5 * (a + c);
+    let e = 0.5 * (c + b);
+    let fd = f(d);
+    let fe = f(e);
+    let left = simpson(a, c, fa, fd, fc);
+    let right = simpson(c, b, fc, fe, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        // Keep a roundoff floor on the per-half tolerance so deep
+        // recursion cannot chase noise.
+        let half_tol = (0.5 * tol).max((left.abs() + right.abs()) * 1e-15);
+        adaptive(f, a, c, fa, fc, fd, left, half_tol, depth - 1)
+            + adaptive(f, c, b, fc, fb, fe, right, half_tol, depth - 1)
+    }
+}
+
+/// Error returned by [`brent`] when the bracket is invalid or the iteration
+/// budget is exhausted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FindRootError {
+    /// `f(a)` and `f(b)` have the same sign, so `[a, b]` brackets no root.
+    NoBracket {
+        /// Function value at the lower bound.
+        fa: f64,
+        /// Function value at the upper bound.
+        fb: f64,
+    },
+    /// The iteration limit was reached before convergence.
+    IterationLimit {
+        /// Best estimate of the root at abort.
+        best: f64,
+    },
+}
+
+impl std::fmt::Display for FindRootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoBracket { fa, fb } => {
+                write!(f, "interval does not bracket a root (f(a) = {fa:.3e}, f(b) = {fb:.3e})")
+            }
+            Self::IterationLimit { best } => {
+                write!(f, "root finder hit the iteration limit near {best:.6e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FindRootError {}
+
+/// Brent's method: finds `x` in `[a, b]` with `f(x) = 0` to tolerance
+/// `tol` (on `x`), given that `f(a)` and `f(b)` have opposite signs.
+///
+/// # Errors
+///
+/// Returns [`FindRootError::NoBracket`] if the interval does not bracket a
+/// sign change and [`FindRootError::IterationLimit`] if 200 iterations do
+/// not converge.
+// The acceptance test below is the textbook Brent formulation; the
+// "simplified" boolean clippy suggests loses the 1:1 correspondence with
+// the published algorithm.
+#[allow(clippy::nonminimal_bool)]
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, FindRootError> {
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(FindRootError::NoBracket { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = a;
+    for _ in 0..200 {
+        if fb.abs() < 1e-300 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo = (3.0 * a + b) / 4.0;
+        let cond = !((lo.min(b) < s && s < lo.max(b))
+            && !(mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            && !(!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            && !(mflag && (b - c).abs() < tol)
+            && !(!mflag && (c - d).abs() < tol));
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(FindRootError::IterationLimit { best: b })
+}
+
+/// Linearly spaced grid of `n ≥ 2` points from `a` to `b` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    let step = (b - a) / (n - 1) as f64;
+    (0..n).map(|i| a + step * i as f64).collect()
+}
+
+/// Logarithmically spaced grid of `n ≥ 2` points from `a` to `b` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either bound is not strictly positive.
+pub fn logspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(a > 0.0 && b > 0.0, "logspace bounds must be positive");
+    linspace(a.ln(), b.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log1pexp_matches_naive_in_safe_range() {
+        for x in [-30.0_f64, -1.0, 0.0, 1.0, 30.0] {
+            let naive = (1.0_f64 + x.exp()).ln();
+            assert!((log1pexp(x) - naive).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn log1pexp_extremes_do_not_overflow() {
+        assert_eq!(log1pexp(5000.0), 5000.0);
+        assert_eq!(log1pexp(-5000.0), 0.0);
+    }
+
+    #[test]
+    fn fermi_is_complementary() {
+        for x in [-20.0, -3.0, 0.0, 0.7, 5.0, 20.0] {
+            assert!((fermi(x) + fermi(-x) - 1.0).abs() < 1e-14, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn fermi_kernel_peaks_at_zero() {
+        assert!((fermi_kernel(0.0) - 0.25).abs() < 1e-15);
+        assert!(fermi_kernel(1.0) < 0.25);
+        assert!(fermi_kernel(-1.0) < 0.25);
+    }
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = integrate(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 1e-12);
+        let exact = |x: f64| x.powi(4) / 4.0 - x * x + x;
+        assert!((v - (exact(3.0) - exact(-1.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_gaussian() {
+        let v = integrate(|x| (-x * x).exp(), -6.0, 6.0, 1e-12);
+        assert!((v - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_fermi_tail_closed_form() {
+        // ∫_0^∞ f((e-mu)/kT) de = kT·ln(1+exp(mu/kT)).
+        let kt = 0.02585;
+        let mu = 0.1;
+        let v = integrate(|e| fermi((e - mu) / kt), 0.0, 2.0, 1e-12);
+        assert!((v - kt * log1pexp(mu / kt)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_width_interval_is_zero() {
+        assert_eq!(integrate(|x| x.exp(), 1.5, 1.5, 1e-9), 0.0);
+    }
+
+    #[test]
+    fn brent_finds_simple_roots() {
+        let r = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-12).unwrap();
+        assert!((r - 0.739_085_133_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(FindRootError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_accepts_root_at_endpoint() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn grids() {
+        let g = linspace(0.0, 1.0, 5);
+        assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let l = logspace(1.0, 100.0, 3);
+        assert!((l[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+}

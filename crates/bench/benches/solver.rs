@@ -1,0 +1,99 @@
+//! Scaling benchmarks of the MNA circuit-simulation substrate: dense LU
+//! on growing ladders, Newton convergence on diode chains, DC sweeps,
+//! and transient integration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use carbon_bench::{diode_chain, resistor_ladder};
+use carbon_spice::parser::parse_deck;
+use carbon_spice::{Circuit, Waveform};
+
+fn bench_ladder_op(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mna_ladder_op");
+    for n in [8usize, 32, 128] {
+        let ckt = resistor_ladder(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ckt, |b, ckt| {
+            b.iter(|| black_box(ckt.op().expect("solvable")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_diode_newton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("newton_diode_chain");
+    for n in [2usize, 8, 24] {
+        let ckt = diode_chain(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ckt, |b, ckt| {
+            b.iter(|| black_box(ckt.op().expect("solvable")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dc_sweep(c: &mut Criterion) {
+    let ckt = resistor_ladder(16);
+    c.bench_function("dc_sweep_100pt", |b| {
+        b.iter(|| black_box(ckt.dc_sweep("v", 0.0, 1.0, 0.01).expect("sweeps")))
+    });
+}
+
+fn bench_transient_rc(c: &mut Criterion) {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source_wave(
+        "v",
+        "in",
+        "0",
+        Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1e-8,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 5e-7,
+            period: 0.0,
+        },
+    )
+    .expect("source");
+    ckt.resistor("r", "in", "out", 1e3).expect("resistor");
+    ckt.capacitor("c", "out", "0", 1e-9).expect("capacitor");
+    c.bench_function("transient_rc_1000_steps", |b| {
+        b.iter(|| black_box(ckt.transient(1e-9, 1e-6).expect("integrates")))
+    });
+}
+
+fn bench_ac_sweep(c: &mut Criterion) {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "in", "0", 0.0);
+    ckt.resistor("r", "in", "out", 1e3).expect("resistor");
+    ckt.capacitor("cl", "out", "0", 1e-9).expect("capacitor");
+    let freqs: Vec<f64> = (0..100).map(|k| 1e3 * 10f64.powf(k as f64 / 16.0)).collect();
+    c.bench_function("ac_sweep_100pt", |b| {
+        b.iter(|| black_box(ckt.ac_sweep("vin", &freqs).expect("sweeps")))
+    });
+}
+
+fn bench_deck_parse(c: &mut Criterion) {
+    let deck = {
+        let mut d = String::from("V1 n0 0 1.0\n");
+        for i in 0..64 {
+            d.push_str(&format!("Rs{i} n{i} n{} 1k\n", i + 1));
+            d.push_str(&format!("Rp{i} n{} 0 1k\n", i + 1));
+        }
+        d
+    };
+    c.bench_function("parse_deck_129_elements", |b| {
+        b.iter(|| black_box(parse_deck(&deck).expect("parses")))
+    });
+}
+
+criterion_group!(
+    solver,
+    bench_ladder_op,
+    bench_diode_newton,
+    bench_dc_sweep,
+    bench_transient_rc,
+    bench_ac_sweep,
+    bench_deck_parse
+);
+criterion_main!(solver);

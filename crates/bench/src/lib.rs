@@ -1,0 +1,77 @@
+//! Shared workload builders for the Criterion benchmark harness.
+//!
+//! Three bench binaries regenerate the paper's evaluation (see
+//! `DESIGN.md` §3 for the experiment-to-bench mapping):
+//!
+//! * `figures` — one benchmark per paper figure/claim, timing the full
+//!   regeneration of each artifact (`carbon-core::figN::run`),
+//! * `solver` — scaling of the MNA circuit-simulation substrate,
+//! * `montecarlo` — the §V statistics workloads and the device-model
+//!   evaluation costs (live ballistic solve vs table lookup).
+
+#![deny(missing_docs)]
+
+use carbon_spice::Circuit;
+
+/// Builds an `n`-stage resistor ladder driven by 1 V — the standard
+/// linear-solver scaling workload (`2n` nodes, `2n + 1` elements).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn resistor_ladder(n: usize) -> Circuit {
+    assert!(n > 0, "ladder needs at least one stage");
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("v", "n0", "0", 1.0);
+    for i in 0..n {
+        ckt.resistor(&format!("rs{i}"), &format!("n{i}"), &format!("n{}", i + 1), 1e3)
+            .expect("unique names");
+        ckt.resistor(&format!("rp{i}"), &format!("n{}", i + 1), "0", 1e3)
+            .expect("unique names");
+    }
+    ckt
+}
+
+/// Builds a diode chain of `n` junctions from a 5 V source — a
+/// nonlinear Newton-convergence workload.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn diode_chain(n: usize) -> Circuit {
+    assert!(n > 0, "chain needs at least one diode");
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("v", "n0", "0", 5.0);
+    ckt.resistor("r", "n0", "d0", 1e3).expect("unique");
+    for i in 0..n {
+        ckt.diode(&format!("d{i}"), &format!("d{i}"), &format!("d{}", i + 1), 1e-15, 1.0)
+            .expect("unique");
+    }
+    ckt.resistor("rt", &format!("d{n}"), "0", 10.0).expect("unique");
+    ckt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_solves() {
+        let op = resistor_ladder(20).op().expect("solvable");
+        assert!(op.voltage("n20").expect("node") > 0.0);
+    }
+
+    #[test]
+    fn diode_chain_solves() {
+        let op = diode_chain(4).op().expect("solvable");
+        // Four forward drops from 5 V leave a positive tail voltage.
+        let tail = op.voltage("d4").expect("node");
+        assert!((0.0..5.0).contains(&tail));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn ladder_rejects_zero() {
+        let _ = resistor_ladder(0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Ablation studies: sweeping the design knob behind each figure.
+//!
+//! The paper presents binary contrasts (saturating vs not, contacted vs
+//! ideal, ballistic vs not). Each of those is really a continuum with a
+//! knob, and the reproduction makes the knob explicit; these ablations
+//! sweep them:
+//!
+//! * **saturation quality** — the saturation-onset voltage `V_crit` of
+//!   the Fig. 2(b) device class, from saturating-inside-the-supply to
+//!   ohmic, at fixed drive current: where exactly does logic die?
+//! * **ballisticity** — mean free path against the Fig. 5 on-current;
+//! * **contact resistance** — per-contact R against the Fig. 4
+//!   saturation figure;
+//! * **TFET electrostatics** — gate efficiency against the Fig. 6
+//!   average swing (§IV's "an even better result should be obtainable").
+
+use std::sync::Arc;
+
+use carbon_band::CntBand;
+use carbon_devices::{BallisticFet, CntTfet, Fet, LinearGnrFet, SeriesResistance};
+use carbon_logic::Inverter;
+use carbon_spice::FetCurve;
+use carbon_units::{Energy, Length, Resistance, Temperature, Voltage};
+
+use crate::error::CoreError;
+use crate::table::{num, Table};
+
+/// One row of the saturation-quality ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationRow {
+    /// Saturation-onset voltage `V_crit`, V (small = saturates within
+    /// the supply window; large = ohmic).
+    pub v_crit: f64,
+    /// Peak inverter gain.
+    pub max_gain: f64,
+    /// Worst-side noise margin, V.
+    pub noise_margin: f64,
+}
+
+/// All ablation sweeps.
+#[derive(Debug, Clone)]
+pub struct Ablations {
+    /// Noise margin vs saturation onset.
+    pub saturation: Vec<SaturationRow>,
+    /// `(mfp nm, Ion µA)` at a 30 nm channel, (0.5 V, 0.5 V).
+    pub ballisticity: Vec<(f64, f64)>,
+    /// `(R per contact kΩ, saturation figure)` for the Fig. 4 device.
+    pub contacts: Vec<(f64, f64)>,
+    /// `(gate efficiency, average swing mV/dec)` for the Fig. 6 TFET.
+    pub tfet: Vec<(f64, f64)>,
+    /// `(temperature K, thermionic SS mV/dec)` of the ballistic CNT-FET —
+    /// linear in T, unlike the BTBT tunnel FET (§IV's motivation).
+    pub temperature: Vec<(f64, f64)>,
+}
+
+/// Runs all ablations.
+///
+/// # Errors
+///
+/// Propagates device and circuit failures.
+pub fn run() -> Result<Ablations, CoreError> {
+    // 1. Saturation quality: sweep the Fig. 2(b) device class from
+    // saturating-within-the-supply (V_crit ≪ V_DD) to ohmic
+    // (V_crit ≫ V_DD), holding the (1 V, 1 V) drive current fixed so
+    // the comparison isolates the output characteristic's *shape*.
+    let mut saturation = Vec::new();
+    let i_ref = {
+        let reference = carbon_devices::AlphaPowerFet::fig2_nfet();
+        reference.ids(1.0, 1.0)
+    };
+    for v_crit in [0.1, 0.3, 1.0, 3.0, 10.0] {
+        let (vt, ss, v_on) = (0.0, 700.0, 1.2);
+        let s_soft = ss / 1e3 / std::f64::consts::LN_10;
+        let soft1: f64 = s_soft * ((1.0 - vt) / s_soft).exp().ln_1p();
+        let g_on = i_ref * (1.0 + 1.0 / v_crit) * v_on / soft1;
+        let nfet = LinearGnrFet::new(g_on, vt, ss, v_on, v_crit)
+            .map_err(|e| CoreError::Device(e.to_string()))?;
+        let pfet = nfet.clone().into_p_type();
+        let inv = Inverter::new(Arc::new(nfet), Arc::new(pfet), Voltage::from_volts(1.0))?;
+        let vtc = inv.vtc(101)?;
+        let nm = vtc.noise_margins();
+        saturation.push(SaturationRow {
+            v_crit,
+            max_gain: vtc.max_abs_gain(),
+            noise_margin: nm.low.min(nm.high),
+        });
+    }
+
+    // 2. Ballisticity: mean free path at fixed 30 nm channel.
+    let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56))
+        .map_err(|e| CoreError::Device(e.to_string()))?;
+    let mut ballisticity = Vec::new();
+    for mfp_nm in [30.0, 100.0, 300.0, 1000.0] {
+        let fet = BallisticFet::builder(Arc::new(band.clone()))
+            .threshold_voltage(0.3)
+            .channel(Length::from_nanometers(30.0), Length::from_nanometers(mfp_nm))
+            .build()
+            .map_err(|e| CoreError::Device(e.to_string()))?;
+        ballisticity.push((mfp_nm, fet.ids(0.5, 0.5) * 1e6));
+    }
+
+    // 3. Contact resistance sweep.
+    let ideal: Arc<dyn Fet> = Arc::new(BallisticFet::cnt_fig1()?);
+    let mut contacts = Vec::new();
+    for r_kohm in [0.001, 10.0, 25.0, 50.0, 100.0] {
+        let dev = SeriesResistance::symmetric(ideal.clone(), Resistance::from_kilohms(r_kohm));
+        let sat = dev
+            .output(
+                Voltage::ZERO,
+                Voltage::from_volts(0.5),
+                51,
+                Voltage::from_volts(0.5),
+            )
+            .saturation_figure();
+        contacts.push((r_kohm, sat));
+    }
+
+    // 4. TFET gate efficiency.
+    let mut tfet = Vec::new();
+    for eff in [0.25, 0.4, 0.6, 0.8] {
+        let dev = CntTfet::fig6().with_gate_efficiency(eff);
+        let curve = dev.reverse_transfer(
+            Voltage::from_volts(-1.2),
+            Voltage::from_volts(0.2),
+            281,
+            Voltage::from_volts(-0.5),
+        );
+        let swing = curve.swing_between(1e-11, 1e-7)?;
+        tfet.push((eff, swing));
+    }
+
+    // 5. Temperature: the thermionic swing is kT/q·ln10-limited, so a
+    // ballistic FET's SS scales linearly with T — the §IV motivation
+    // for tunnel FETs, whose BTBT swing does not.
+    let mut temperature = Vec::new();
+    for t_kelvin in [150.0, 225.0, 300.0, 375.0] {
+        let fet = BallisticFet::builder(Arc::new(band.clone()))
+            .threshold_voltage(0.3)
+            .temperature(Temperature::from_kelvin(t_kelvin))
+            .build()
+            .map_err(|e| CoreError::Device(e.to_string()))?;
+        let curve = fet.transfer(
+            Voltage::from_volts(-0.25),
+            Voltage::from_volts(0.45),
+            141,
+            Voltage::from_volts(0.5),
+        );
+        let ss = curve.swing_between(1e-10, 1e-8)?;
+        temperature.push((t_kelvin, ss));
+    }
+
+    Ok(Ablations {
+        saturation,
+        ballisticity,
+        contacts,
+        tfet,
+        temperature,
+    })
+}
+
+impl std::fmt::Display for Ablations {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = Table::new(
+            "Ablation — noise margin vs saturation onset V_crit (Fig. 2 knob, fixed drive)",
+            &["V_crit [V]", "max |gain|", "worst NM [V]"],
+        );
+        for r in &self.saturation {
+            s.push_owned_row(vec![
+                num(r.v_crit, 1),
+                num(r.max_gain, 2),
+                num(r.noise_margin, 3),
+            ]);
+        }
+        writeln!(f, "{s}")?;
+        let mut b = Table::new(
+            "Ablation — on-current vs mean free path at L = 30 nm (Fig. 5 knob)",
+            &["mfp [nm]", "I_on [µA]"],
+        );
+        for (mfp, ion) in &self.ballisticity {
+            b.push_owned_row(vec![num(*mfp, 0), num(*ion, 2)]);
+        }
+        writeln!(f, "{b}")?;
+        let mut c = Table::new(
+            "Ablation — saturation figure vs contact resistance (Fig. 4 knob)",
+            &["R per contact [kΩ]", "saturation figure"],
+        );
+        for (r, sat) in &self.contacts {
+            c.push_owned_row(vec![num(*r, 1), num(*sat, 2)]);
+        }
+        writeln!(f, "{c}")?;
+        let mut t = Table::new(
+            "Ablation — TFET average swing vs gate efficiency (Fig. 6 / §IV knob)",
+            &["gate efficiency [eV/V]", "avg swing [mV/dec]"],
+        );
+        for (eff, swing) in &self.tfet {
+            t.push_owned_row(vec![num(*eff, 2), num(*swing, 1)]);
+        }
+        writeln!(f, "{t}")?;
+        let mut temp = Table::new(
+            "Ablation — thermionic SS vs temperature (why §IV wants tunnel FETs)",
+            &["T [K]", "SS [mV/dec]", "kT/q·ln10 [mV/dec]"],
+        );
+        for (t_kelvin, ss) in &self.temperature {
+            let limit = carbon_units::consts::K_B * t_kelvin
+                / carbon_units::consts::Q_E
+                * std::f64::consts::LN_10
+                * 1e3;
+            temp.push_owned_row(vec![num(*t_kelvin, 0), num(*ss, 1), num(limit, 1)]);
+        }
+        writeln!(f, "{temp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_margin_dies_as_saturation_degrades() {
+        let a = run().unwrap();
+        let rows = &a.saturation;
+        assert!(
+            rows[0].max_gain > 1.0,
+            "early saturation regenerates: {:?}",
+            rows[0]
+        );
+        assert!(
+            rows.windows(2).all(|w| w[1].noise_margin <= w[0].noise_margin + 0.02),
+            "monotone degradation: {rows:?}"
+        );
+        let last = rows.last().unwrap();
+        assert!(last.max_gain < 1.0, "ohmic limit has no gain: {last:?}");
+        assert_eq!(last.noise_margin, 0.0, "and no noise margin");
+    }
+
+    #[test]
+    fn gain_tracks_saturation_quality() {
+        let a = run().unwrap();
+        assert!(a.saturation[0].max_gain > 1.5 * a.saturation.last().unwrap().max_gain);
+    }
+
+    #[test]
+    fn longer_mfp_buys_current_with_diminishing_returns() {
+        let a = run().unwrap();
+        let ion: Vec<f64> = a.ballisticity.iter().map(|(_, i)| *i).collect();
+        assert!(ion.windows(2).all(|w| w[1] > w[0]), "monotone: {ion:?}");
+        let gain_low = ion[1] / ion[0];
+        let gain_high = ion[3] / ion[2];
+        assert!(gain_low > gain_high, "diminishing returns");
+    }
+
+    #[test]
+    fn contact_resistance_monotonically_linearizes() {
+        let a = run().unwrap();
+        let sat: Vec<f64> = a.contacts.iter().map(|(_, s)| *s).collect();
+        assert!(
+            sat.windows(2).all(|w| w[1] < w[0]),
+            "more contact R → less saturation: {sat:?}"
+        );
+    }
+
+    #[test]
+    fn better_electrostatics_steepens_the_tfet() {
+        let a = run().unwrap();
+        let swing: Vec<f64> = a.tfet.iter().map(|(_, s)| *s).collect();
+        assert!(
+            swing.windows(2).all(|w| w[1] < w[0]),
+            "higher gate efficiency → steeper: {swing:?}"
+        );
+        assert!(swing[0] > 100.0 && *swing.last().unwrap() < 60.0);
+    }
+
+    #[test]
+    fn thermionic_swing_is_linear_in_temperature() {
+        let a = run().unwrap();
+        let rows = &a.temperature;
+        assert!(rows.windows(2).all(|w| w[1].1 > w[0].1), "SS grows with T: {rows:?}");
+        // Ratio of SS to temperature is constant within the gate-control
+        // factor: SS(T)/T spread under 10 %.
+        let ratios: Vec<f64> = rows.iter().map(|(t, ss)| ss / t).collect();
+        let (lo, hi) = ratios
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &r| (l.min(r), h.max(r)));
+        assert!(hi / lo < 1.1, "linear in T: {ratios:?}");
+        // And each sits just above the ideal kT/q·ln10 line (α_G < 1).
+        for (t, ss) in rows {
+            let limit = carbon_units::consts::K_B * t / carbon_units::consts::Q_E
+                * std::f64::consts::LN_10
+                * 1e3;
+            assert!(*ss > limit && *ss < 1.35 * limit, "T = {t}: {ss} vs {limit}");
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("Ablation"));
+        assert!(s.contains("mean free path"));
+        assert!(s.contains("temperature"));
+    }
+}

@@ -1,0 +1,221 @@
+//! One-command reproduction gate: runs every experiment and checks the
+//! paper's headline claim for each, printing a ✓/✗ checklist.
+//!
+//! ```text
+//! cargo run --release -p carbon-core --bin verify
+//! ```
+//!
+//! Exits non-zero if any claim fails, so CI can gate on it.
+
+use carbon_core::{
+    ablations, cascade, claims, fig1, fig2, fig3, fig4, fig5, fig6, fig7_stats, fig8_computer, rf,
+    variability_logic,
+};
+
+struct Checklist {
+    failures: usize,
+}
+
+impl Checklist {
+    fn check(&mut self, claim: &str, pass: bool, detail: String) {
+        let mark = if pass { "✓" } else { "✗" };
+        println!("{mark} {claim:<58} {detail}");
+        if !pass {
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut list = Checklist { failures: 0 };
+    println!("Reproduction gate — Kreupl, DATE 2014\n");
+
+    let f1 = fig1::run()?;
+    list.check(
+        "Fig1a: CNT and GNR transfer curves overlap (log scale)",
+        f1.transfer_log_gap < 0.8,
+        format!("gap {:.2} dec", f1.transfer_log_gap),
+    );
+    list.check(
+        "Fig1b: simulated devices saturate, real GNR is ohmic",
+        f1.saturation_figures[0] > 2.0 && f1.saturation_figures[2] < 1.8,
+        format!(
+            "CNT {:.1} vs real GNR {:.2}",
+            f1.saturation_figures[0], f1.saturation_figures[2]
+        ),
+    );
+    list.check(
+        "Fig1b: CNT current hardly changes 0.2 → 0.5 V",
+        f1.cnt_sat_ratio < 1.35,
+        format!("ratio {:.2}", f1.cnt_sat_ratio),
+    );
+
+    let f2 = fig2::run()?;
+    list.check(
+        "Fig2: saturating inverter has ~0.4 V noise margins",
+        f2.margins_saturating.low > 0.25 && f2.margins_saturating.high > 0.25,
+        format!(
+            "NM {:.2}/{:.2} V",
+            f2.margins_saturating.low, f2.margins_saturating.high
+        ),
+    );
+    list.check(
+        "Fig2: non-saturating inverter gain < 1, NM = 0",
+        f2.max_gain[1] < 1.0 && f2.margins_non_saturating.low == 0.0,
+        format!("gain {:.2}", f2.max_gain[1]),
+    );
+
+    let f3 = fig3::run()?;
+    let cet = |name: &str| {
+        f3.cet_by_material
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(f64::NAN)
+    };
+    list.check(
+        "Fig3: GAA beats planar at every gate length",
+        (0..f3.gate_lengths_nm.len()).all(|k| f3.geometries[2].ss[k] <= f3.geometries[0].ss[k]),
+        format!(
+            "SS@9nm {:.1} vs {:.1} mV/dec",
+            f3.geometries[2].ss[0], f3.geometries[0].ss[0]
+        ),
+    );
+    list.check(
+        "Dark space: CNT < Si < InGaAs < InAs (CET in inversion)",
+        cet("CNT") < cet("Si") && cet("Si") < cet("InGaAs") && cet("InGaAs") < cet("InAs"),
+        format!("{:.2} < {:.2} < {:.2} < {:.2} nm", cet("CNT"), cet("Si"), cet("InGaAs"), cet("InAs")),
+    );
+
+    let f4 = fig4::run()?;
+    list.check(
+        "Fig4: 50 kΩ contacts reduce current and linearize the I-V",
+        f4.current_reduction > 1.4 && f4.saturation[1] < 0.7 * f4.saturation[0],
+        format!(
+            "÷{:.2}, saturation {:.1} → {:.1}",
+            f4.current_reduction, f4.saturation[0], f4.saturation[1]
+        ),
+    );
+
+    let f5 = fig5::run()?;
+    list.check(
+        "Fig5: CNTFET outperforms Si/InAs/InGaAs at every length",
+        f5.min_advantage > 1.0,
+        format!("min advantage {:.1}×", f5.min_advantage),
+    );
+
+    let f6 = fig6::run()?;
+    list.check(
+        "Fig6: TFET average swing ≈ 83 mV/dec, best interval sub-60",
+        (60.0..105.0).contains(&f6.average_swing) && f6.best_swing < 59.6,
+        format!("avg {:.1}, best {:.1} mV/dec", f6.average_swing, f6.best_swing),
+    );
+    list.check(
+        "Fig6: ~1 mA/µm on-current, forward diode gate-insensitive",
+        f6.on_density_ma_per_um > 0.3 && f6.forward_gate_insensitive,
+        format!("{:.2} mA/µm", f6.on_density_ma_per_um),
+    );
+
+    let c = claims::run()?;
+    list.check(
+        "§III.E: trigate ~66 µA; CNT ~1/3 at 0.6 V; >300× area",
+        (c.trigate_ion * 1e6 - 66.0).abs() < 5.0
+            && (0.15..0.6).contains(&(c.cnt_ion_06 / c.trigate_ion))
+            && c.cross_section_ratio > 300.0,
+        format!(
+            "{:.0} µA, {:.2}, {:.0}×",
+            c.trigate_ion * 1e6,
+            c.cnt_ion_06 / c.trigate_ion,
+            c.cross_section_ratio
+        ),
+    );
+    list.check(
+        "§III.B: 11 kΩ series-resistance floor",
+        (c.cnt_series_kohm - 11.0).abs() < 1.5,
+        format!("{:.1} kΩ", c.cnt_series_kohm),
+    );
+    list.check(
+        "§II: sub-10 nm GNR with 10⁶ on/off and 2 mA/µm",
+        c.gnr_on_off > 1e6 && (c.gnr_density_ma_um - 2.0).abs() < 0.3,
+        format!("{:.1e}, {:.2} mA/µm", c.gnr_on_off, c.gnr_density_ma_um),
+    );
+
+    let r = rf::run()?;
+    list.check(
+        "§II RF: GNR gain < 1 → f_max collapses vs CNT",
+        r.gnr.voltage_gain < 2.0 && r.cnt.fmax / r.gnr.fmax > 3.0,
+        format!(
+            "A_v {:.2} vs {:.1}; f_max ratio {:.0}×",
+            r.gnr.voltage_gain,
+            r.cnt.voltage_gain,
+            r.cnt.fmax / r.gnr.fmax
+        ),
+    );
+
+    let casc = cascade::run()?;
+    list.check(
+        "§II: cascaded logic regenerates only with saturation",
+        casc.saturating.rail_error.last().copied().unwrap_or(1.0) < 0.02
+            && casc.non_saturating.rail_error.last().copied().unwrap_or(0.0) > 0.35,
+        format!(
+            "final rail error {:.3} vs {:.3} V",
+            casc.saturating.rail_error.last().copied().unwrap_or(f64::NAN),
+            casc.non_saturating.rail_error.last().copied().unwrap_or(f64::NAN)
+        ),
+    );
+
+    let f7 = fig7_stats::run()?;
+    list.check(
+        "§V: 10,000-device campaign with physical statistics",
+        f7.population.len() == 10_000 && f7.fractions[0] > 0.5,
+        format!("functional {:.1} %", f7.fractions[0] * 100.0),
+    );
+
+    let f8 = fig8_computer::run()?;
+    list.check(
+        "§V: SUBNEG computer counts and sorts on CNT logic",
+        f8.sorted == (3, 9) && f8.inverter_gain > 1.5,
+        format!(
+            "sorted {:?}, stage {:.0} ps",
+            f8.sorted,
+            f8.stage_delay_s * 1e12
+        ),
+    );
+    list.check(
+        "§V: purity (or VMR) decides wafer-scale yield",
+        f8.yield_vs_purity.last().map(|r| r.2).unwrap_or(0.0) > 0.9
+            && f8.vmr_rescue.1 > 10.0 * f8.vmr_rescue.0
+            && f8.wafer_expected > 5.0,
+        format!(
+            "5-nines yield {:.2}, VMR {:.1e}→{:.2}, {:.0} dies/wafer",
+            f8.yield_vs_purity.last().map(|r| r.2).unwrap_or(0.0),
+            f8.vmr_rescue.0,
+            f8.vmr_rescue.1,
+            f8.wafer_expected
+        ),
+    );
+
+    let a = ablations::run()?;
+    list.check(
+        "Ablations: every design knob moves its figure the right way",
+        a.saturation.last().map(|r| r.max_gain < 1.0).unwrap_or(false)
+            && a.contacts.windows(2).all(|w| w[1].1 < w[0].1)
+            && a.temperature.windows(2).all(|w| w[1].1 > w[0].1),
+        format!("{} sweeps", 5),
+    );
+
+    let v = variability_logic::run()?;
+    list.check(
+        "§V: measured V_T dispersion still yields robust logic",
+        v.rows[1].robust_fraction > 0.6,
+        format!("{:.0} % robust at σ = 70 mV", v.rows[1].robust_fraction * 100.0),
+    );
+
+    println!();
+    if list.failures == 0 {
+        println!("all claims reproduced ✓");
+        Ok(())
+    } else {
+        Err(format!("{} claim(s) failed", list.failures).into())
+    }
+}

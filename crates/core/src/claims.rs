@@ -1,0 +1,207 @@
+//! Scalar claims of §II/§III, each reproduced as a checked number.
+//!
+//! * Intel 30 nm trigate delivers ~66 µA at `(1 V, 1 V)`; the Franklin
+//!   CNT-FET "delivers already an impressive ~20 µA at V_DS = 0.6 V,
+//!   which is almost 1/3 of the trigate's current";
+//! * "the trigate channel's cross-section area is more than 300 times
+//!   bigger than the cross-section of the CNTFET";
+//! * sub-10 nm GNRs: `I_on/I_off = 10⁶`, `2 mA/µm` at 1 V — but no
+//!   saturation;
+//! * "the overall serial resistance of a single CNT-FET has been shown
+//!   to be as low as 11 kOhm";
+//! * the ~60 mV/dec room-temperature swing limit.
+
+use carbon_band::{Band1d, CntBand};
+use carbon_devices::series::cnt_series_resistance;
+use carbon_devices::{AlphaPowerFet, BallisticFet, Fet, LinearGnrFet};
+use carbon_spice::FetCurve;
+use carbon_units::consts::SS_THERMAL_LIMIT_MV_PER_DEC;
+use carbon_units::{Current, Energy, Length, Temperature, Voltage};
+
+use crate::error::CoreError;
+use crate::table::Table;
+
+/// All §II/§III scalar claims, measured.
+#[derive(Debug, Clone)]
+pub struct Claims {
+    /// Trigate on-current at (1 V, 1 V), A.
+    pub trigate_ion: f64,
+    /// CNT-FET on-current at (0.6 V, 0.6 V), A.
+    pub cnt_ion_06: f64,
+    /// Trigate/CNT cross-section area ratio.
+    pub cross_section_ratio: f64,
+    /// Sub-10 nm GNR drive density at (1 V, 1 V), mA/µm.
+    pub gnr_density_ma_um: f64,
+    /// Sub-10 nm GNR on/off ratio.
+    pub gnr_on_off: f64,
+    /// Best-case CNT series resistance (20 nm contacts), kΩ.
+    pub cnt_series_kohm: f64,
+    /// Room-temperature thermionic swing limit, mV/dec.
+    pub thermal_limit: f64,
+    /// CNT injection velocity at on-state bias, m/s (§I: "injection
+    /// velocity ... is more important" than mobility).
+    pub cnt_injection_velocity: f64,
+}
+
+/// Runs all scalar-claim measurements.
+///
+/// # Errors
+///
+/// Propagates device construction failures.
+pub fn run() -> Result<Claims, CoreError> {
+    let trigate = AlphaPowerFet::intel_trigate_30nm();
+    let trigate_ion = trigate.ids(1.0, 1.0);
+    let cnt = BallisticFet::cnt_fig1()?;
+    let cnt_ion_06 = cnt.ids(0.6, 0.6);
+    // Fin cross-section 35 nm × 18 nm vs tube cross-section π·(d/2)².
+    let fin_area = 35e-9 * 18e-9;
+    let d = Fet::width(&cnt)
+        .unwrap_or(Length::from_nanometers(1.5))
+        .meters();
+    let tube_area = std::f64::consts::PI * (d / 2.0) * (d / 2.0);
+    let cross_section_ratio = fin_area / tube_area;
+
+    let gnr = LinearGnrFet::sub10nm_fig1();
+    let gnr_density_ma_um = Current::from_amperes(gnr.ids(1.0, 1.0))
+        .per_width(Fet::width(&gnr).expect("preset has width"))
+        .milliamps_per_micron();
+    let gnr_on_off = gnr
+        .transfer(
+            Voltage::from_volts(-0.6),
+            Voltage::from_volts(1.0),
+            161,
+            Voltage::from_volts(1.0),
+        )
+        .on_off_ratio();
+    let cnt_series_kohm = cnt_series_resistance(Length::from_nanometers(20.0)).kilohms();
+    // Injection velocity of the CNT band at a degenerate on-state bias
+    // (Fermi level ~0.15 eV above the first subband edge).
+    let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56))
+        .map_err(|e| CoreError::Device(e.to_string()))?;
+    let cnt_injection_velocity = band.injection_velocity(
+        Energy::from_electron_volts(0.43),
+        Temperature::room(),
+    );
+    Ok(Claims {
+        trigate_ion,
+        cnt_ion_06,
+        cross_section_ratio,
+        gnr_density_ma_um,
+        gnr_on_off,
+        cnt_series_kohm,
+        thermal_limit: SS_THERMAL_LIMIT_MV_PER_DEC,
+        cnt_injection_velocity,
+    })
+}
+
+impl std::fmt::Display for Claims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "§II/§III scalar claims",
+            &["claim", "measured", "paper"],
+        );
+        t.push_owned_row(vec![
+            "trigate I_on (1 V, 1 V)".into(),
+            format!("{:.1} µA", self.trigate_ion * 1e6),
+            "~66 µA".into(),
+        ]);
+        t.push_owned_row(vec![
+            "CNT-FET I_on (0.6 V)".into(),
+            format!("{:.1} µA", self.cnt_ion_06 * 1e6),
+            "~20 µA".into(),
+        ]);
+        t.push_owned_row(vec![
+            "CNT/trigate current fraction".into(),
+            format!("{:.2}", self.cnt_ion_06 / self.trigate_ion),
+            "almost 1/3".into(),
+        ]);
+        t.push_owned_row(vec![
+            "cross-section ratio".into(),
+            format!("{:.0}×", self.cross_section_ratio),
+            ">300×".into(),
+        ]);
+        t.push_owned_row(vec![
+            "sub-10 nm GNR drive".into(),
+            format!("{:.2} mA/µm", self.gnr_density_ma_um),
+            "2 mA/µm".into(),
+        ]);
+        t.push_owned_row(vec![
+            "sub-10 nm GNR on/off".into(),
+            format!("{:.1e}", self.gnr_on_off),
+            "10⁶".into(),
+        ]);
+        t.push_owned_row(vec![
+            "CNT series resistance".into(),
+            format!("{:.1} kΩ", self.cnt_series_kohm),
+            "11 kΩ".into(),
+        ]);
+        t.push_owned_row(vec![
+            "thermionic swing limit".into(),
+            format!("{:.1} mV/dec", self.thermal_limit),
+            "~60 mV/dec".into(),
+        ]);
+        t.push_owned_row(vec![
+            "CNT injection velocity".into(),
+            format!("{:.1e} m/s", self.cnt_injection_velocity),
+            "§I: beats mobility thinking (Si v_th ≈ 1.3e5 m/s)".into(),
+        ]);
+        writeln!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigate_and_cnt_currents() {
+        let c = run().unwrap();
+        assert!((c.trigate_ion * 1e6 - 66.0).abs() < 5.0, "trigate {}", c.trigate_ion);
+        assert!(
+            (8.0..40.0).contains(&(c.cnt_ion_06 * 1e6)),
+            "CNT at 0.6 V: {} µA",
+            c.cnt_ion_06 * 1e6
+        );
+        let frac = c.cnt_ion_06 / c.trigate_ion;
+        assert!((0.15..0.6).contains(&frac), "fraction {frac} (paper ~1/3)");
+    }
+
+    #[test]
+    fn cross_section_ratio_above_300() {
+        let c = run().unwrap();
+        assert!(c.cross_section_ratio > 300.0, "ratio {}", c.cross_section_ratio);
+    }
+
+    #[test]
+    fn gnr_claims() {
+        let c = run().unwrap();
+        assert!((c.gnr_density_ma_um - 2.0).abs() < 0.3);
+        assert!(c.gnr_on_off > 1e6);
+    }
+
+    #[test]
+    fn series_resistance_claim() {
+        let c = run().unwrap();
+        assert!((c.cnt_series_kohm - 11.0).abs() < 1.5, "{} kΩ", c.cnt_series_kohm);
+    }
+
+    #[test]
+    fn cnt_injection_velocity_beats_silicon_thermal_velocity() {
+        let c = run().unwrap();
+        // Si ~1.3e5 m/s; CNTs inject at several 1e5 m/s.
+        assert!(
+            c.cnt_injection_velocity > 2.5e5,
+            "v_inj = {:.2e} m/s",
+            c.cnt_injection_velocity
+        );
+        assert!(c.cnt_injection_velocity < 1e6, "bounded by v_F");
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("66 µA") || s.contains("~66 µA"));
+        assert!(s.contains("11 kΩ"));
+        assert!(s.contains("injection velocity"));
+    }
+}

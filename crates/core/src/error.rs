@@ -1,0 +1,78 @@
+//! Error type aggregating the substrate failures an experiment can hit.
+
+use carbon_logic::LogicError;
+use carbon_spice::SpiceError;
+
+/// Errors from running a paper experiment.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A device model could not be built.
+    Device(String),
+    /// The circuit simulator failed.
+    Circuit(SpiceError),
+    /// Logic-level analysis failed.
+    Logic(LogicError),
+    /// A figure of merit could not be extracted from simulated data.
+    Extract(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Device(msg) => write!(f, "device model failed: {msg}"),
+            Self::Circuit(e) => write!(f, "circuit simulation failed: {e}"),
+            Self::Logic(e) => write!(f, "logic analysis failed: {e}"),
+            Self::Extract(msg) => write!(f, "extraction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Circuit(e) => Some(e),
+            Self::Logic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CoreError {
+    fn from(e: SpiceError) -> Self {
+        Self::Circuit(e)
+    }
+}
+
+impl From<LogicError> for CoreError {
+    fn from(e: LogicError) -> Self {
+        Self::Logic(e)
+    }
+}
+
+impl From<carbon_devices::metrics::ExtractError> for CoreError {
+    fn from(e: carbon_devices::metrics::ExtractError) -> Self {
+        Self::Extract(e.to_string())
+    }
+}
+
+impl From<Box<dyn std::error::Error + Send + Sync>> for CoreError {
+    fn from(e: Box<dyn std::error::Error + Send + Sync>) -> Self {
+        Self::Device(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = SpiceError::UnknownNode { name: "x".into() }.into();
+        assert!(e.to_string().contains("circuit"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = LogicError::InvalidParameter { reason: "r".into() }.into();
+        assert!(e.to_string().contains("logic"));
+        let e = CoreError::Extract("no crossing".into());
+        assert!(e.to_string().contains("no crossing"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Fig. 1 — simulated I-V characteristics of a CNT-FET and a GNR-FET
+//! with the same 0.56 eV bandgap (after Ouyang et al.), plus the
+//! experimentally observed non-saturating "real GNR".
+//!
+//! Reproduced claims:
+//!
+//! * **(a)** the `I_D(V_GS)` curves of the two simulated devices overlap
+//!   on a log plot at `V_DS = 0.5 V`;
+//! * **(b)** both *simulated* devices saturate in `I_D(V_DS)` at
+//!   `V_GS = 0.5 V` (current "hardly changes between 0.2 V and 0.5 V"),
+//!   while the *real* GNR stays a gate-steered linear resistor at both
+//!   gate voltages.
+
+use carbon_devices::{BallisticFet, Fet, IvCurve, LinearGnrFet};
+use carbon_units::Voltage;
+
+use crate::error::CoreError;
+use crate::table::{sci, Table};
+
+/// All series of Fig. 1 plus the derived summary metrics.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// (a): CNT transfer curve at `V_DS = 0.5 V`.
+    pub cnt_transfer: IvCurve,
+    /// (a): GNR transfer curve at `V_DS = 0.5 V`.
+    pub gnr_transfer: IvCurve,
+    /// (b): CNT output curve at `V_GS = 0.5 V`.
+    pub cnt_output: IvCurve,
+    /// (b): GNR output curve at `V_GS = 0.5 V`.
+    pub gnr_output: IvCurve,
+    /// (b): real (measured-like) GNR output curves at two gate voltages.
+    pub real_gnr_outputs: [IvCurve; 2],
+    /// Worst log₁₀ distance between the two transfer curves over the
+    /// common gate window (the "overlap" claim).
+    pub transfer_log_gap: f64,
+    /// Saturation figures of the three output curves
+    /// (CNT, GNR-simulated, real GNR at the higher V_G).
+    pub saturation_figures: [f64; 3],
+    /// `I(0.5 V)/I(0.2 V)` for the simulated CNT output curve.
+    pub cnt_sat_ratio: f64,
+}
+
+/// Runs the Fig. 1 experiment.
+///
+/// # Errors
+///
+/// Propagates device-model construction failures.
+pub fn run() -> Result<Fig1, CoreError> {
+    let cnt = BallisticFet::cnt_fig1()?;
+    let gnr = BallisticFet::gnr_fig1()?;
+    let real = LinearGnrFet::sub10nm_fig1();
+
+    let vds = Voltage::from_volts(0.5);
+    let vg_lo = Voltage::from_volts(-0.1);
+    let vg_hi = Voltage::from_volts(0.9);
+    let n = 101;
+    let cnt_transfer = cnt.transfer(vg_lo, vg_hi, n, vds);
+    let gnr_transfer = gnr.transfer(vg_lo, vg_hi, n, vds);
+
+    let vgs = Voltage::from_volts(0.5);
+    let cnt_output = cnt.output(Voltage::ZERO, vds, 51, vgs);
+    let gnr_output = gnr.output(Voltage::ZERO, vds, 51, vgs);
+    let real_gnr_outputs = [
+        real.output(Voltage::ZERO, vds, 51, Voltage::from_volts(0.5)),
+        real.output(Voltage::ZERO, vds, 51, Voltage::from_volts(1.0)),
+    ];
+
+    // Overlap metric: max |log10(I_cnt) − log10(I_gnr)| over the window
+    // where both are above numerical noise.
+    let transfer_log_gap = cnt_transfer
+        .current()
+        .iter()
+        .zip(gnr_transfer.current())
+        .filter(|(&a, &b)| a > 1e-15 && b > 1e-15)
+        .map(|(&a, &b)| (a.log10() - b.log10()).abs())
+        .fold(0.0, f64::max);
+
+    let saturation_figures = [
+        cnt_output.saturation_figure(),
+        gnr_output.saturation_figure(),
+        real_gnr_outputs[1].saturation_figure(),
+    ];
+    let i02 = cnt_output.current_at(0.2);
+    let i05 = cnt_output.current_at(0.5);
+    let cnt_sat_ratio = i05 / i02;
+
+    Ok(Fig1 {
+        cnt_transfer,
+        gnr_transfer,
+        cnt_output,
+        gnr_output,
+        real_gnr_outputs,
+        transfer_log_gap,
+        saturation_figures,
+        cnt_sat_ratio,
+    })
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut a = Table::new(
+            "Fig. 1(a) — I_D(V_GS) at V_DS = 0.5 V (ballistic model, E_g = 0.56 eV)",
+            &["V_GS [V]", "I_D CNT [A]", "I_D GNR [A]"],
+        );
+        for k in (0..self.cnt_transfer.len()).step_by(10) {
+            a.push_owned_row(vec![
+                format!("{:.2}", self.cnt_transfer.bias()[k]),
+                sci(self.cnt_transfer.current()[k]),
+                sci(self.gnr_transfer.current()[k]),
+            ]);
+        }
+        writeln!(f, "{a}")?;
+        let mut b = Table::new(
+            "Fig. 1(b) — I_D(V_DS) at V_GS = 0.5 V",
+            &[
+                "V_DS [V]",
+                "CNT (sim) [A]",
+                "GNR (sim) [A]",
+                "real GNR @0.5V [A]",
+                "real GNR @1.0V [A]",
+            ],
+        );
+        for k in (0..self.cnt_output.len()).step_by(5) {
+            b.push_owned_row(vec![
+                format!("{:.2}", self.cnt_output.bias()[k]),
+                sci(self.cnt_output.current()[k]),
+                sci(self.gnr_output.current()[k]),
+                sci(self.real_gnr_outputs[0].current()[k]),
+                sci(self.real_gnr_outputs[1].current()[k]),
+            ]);
+        }
+        writeln!(f, "{b}")?;
+        writeln!(
+            f,
+            "transfer overlap: max log10 gap = {:.2} decades (paper: curves overlap)",
+            self.transfer_log_gap
+        )?;
+        writeln!(
+            f,
+            "saturation figures: CNT {:.1}, GNR(sim) {:.1}, real GNR {:.2} (≈1 = ohmic)",
+            self.saturation_figures[0], self.saturation_figures[1], self.saturation_figures[2]
+        )?;
+        writeln!(
+            f,
+            "CNT I(0.5 V)/I(0.2 V) = {:.2} (paper: current hardly changes)",
+            self.cnt_sat_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_curves_overlap_on_log_scale() {
+        let fig = run().unwrap();
+        // Degeneracy 4 vs 2 bounds the gap near log10(2) ≈ 0.3; "overlap
+        // on this scale" means well under one decade.
+        assert!(
+            fig.transfer_log_gap < 0.8,
+            "log gap {} decades",
+            fig.transfer_log_gap
+        );
+    }
+
+    #[test]
+    fn simulated_devices_saturate_but_real_gnr_does_not() {
+        let fig = run().unwrap();
+        let [cnt, gnr, real] = fig.saturation_figures;
+        assert!(cnt > 2.0, "CNT saturation figure {cnt}");
+        assert!(gnr > 2.0, "GNR(sim) saturation figure {gnr}");
+        assert!(real < 1.8, "real GNR must look ohmic, figure {real}");
+    }
+
+    #[test]
+    fn cnt_current_hardly_changes_between_02_and_05() {
+        let fig = run().unwrap();
+        assert!(
+            fig.cnt_sat_ratio < 1.35,
+            "I(0.5)/I(0.2) = {}",
+            fig.cnt_sat_ratio
+        );
+    }
+
+    #[test]
+    fn real_gnr_is_steered_by_gate() {
+        let fig = run().unwrap();
+        let i_lo = fig.real_gnr_outputs[0].current_at(0.4);
+        let i_hi = fig.real_gnr_outputs[1].current_at(0.4);
+        assert!(i_hi > 1.2 * i_lo, "gate moves the resistor: {i_lo} → {i_hi}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let fig = run().unwrap();
+        let s = fig.to_string();
+        assert!(s.contains("Fig. 1(a)"));
+        assert!(s.contains("real GNR"));
+    }
+}

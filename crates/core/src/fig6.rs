@@ -1,0 +1,172 @@
+//! Fig. 6 — the CNT tunnel FET (gated PIN diode).
+//!
+//! Reproduced claims:
+//!
+//! * reverse-biased: "a very sharp turn-on with gate voltage going
+//!   negative and a SS of 83 mV/dec", with "individual sweep points"
+//!   even steeper ("like 32 mV/dec" — sub-thermal either way);
+//! * "the on-current density is still in the range of 1 mA/µm";
+//! * forward-biased: "the application of the back voltage is hardly
+//!   modulating the current".
+
+use carbon_devices::{CntTfet, Fet, IvCurve};
+use carbon_units::consts::SS_THERMAL_LIMIT_MV_PER_DEC;
+use carbon_units::{Current, Voltage};
+
+use crate::error::CoreError;
+use crate::table::{num, sci, Table};
+
+/// Results of the Fig. 6 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Reverse-bias transfer curve (|I| vs V_G at V_D = −0.5 V).
+    pub reverse_transfer: IvCurve,
+    /// Average swing over the turn-on decades, mV/dec.
+    pub average_swing: f64,
+    /// Steepest single-interval swing, mV/dec.
+    pub best_swing: f64,
+    /// On-current density, mA/µm.
+    pub on_density_ma_per_um: f64,
+    /// `true` if the forward branch is gate-insensitive.
+    pub forward_gate_insensitive: bool,
+    /// On/off ratio across the sweep.
+    pub on_off: f64,
+}
+
+/// Runs the Fig. 6 experiment.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn run() -> Result<Fig6, CoreError> {
+    let tfet = CntTfet::fig6();
+    let reverse_transfer = tfet.reverse_transfer(
+        Voltage::from_volts(-1.0),
+        Voltage::from_volts(0.2),
+        241,
+        Voltage::from_volts(-0.5),
+    );
+    let average_swing = reverse_transfer.swing_between(1e-11, 1e-7)?;
+    let best_swing = reverse_transfer.steepest_swing(1.3)?;
+    let i_on = reverse_transfer.current()[0];
+    let width = Fet::width(&tfet).ok_or_else(|| {
+        CoreError::Extract("TFET preset must carry a width for density normalization".into())
+    })?;
+    let on_density_ma_per_um = Current::from_amperes(i_on)
+        .per_width(width)
+        .milliamps_per_micron();
+    let forward_gate_insensitive = tfet.forward_is_gate_insensitive(
+        Voltage::from_volts(-1.0),
+        Voltage::from_volts(0.5),
+        1.01,
+    );
+    let on_off = reverse_transfer.on_off_ratio();
+    Ok(Fig6 {
+        reverse_transfer,
+        average_swing,
+        best_swing,
+        on_density_ma_per_um,
+        forward_gate_insensitive,
+        on_off,
+    })
+}
+
+impl std::fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "Fig. 6(b) — gated PIN diode, reverse bias (V_D = −0.5 V)",
+            &["V_G [V]", "|I| [A]"],
+        );
+        for k in (0..self.reverse_transfer.len()).step_by(20) {
+            t.push_owned_row(vec![
+                num(self.reverse_transfer.bias()[k], 2),
+                sci(self.reverse_transfer.current()[k]),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        let mut s = Table::new("Fig. 6 — summary", &["metric", "measured", "paper"]);
+        s.push_owned_row(vec![
+            "average swing".into(),
+            format!("{:.1} mV/dec", self.average_swing),
+            "83 mV/dec".into(),
+        ]);
+        s.push_owned_row(vec![
+            "best interval".into(),
+            format!("{:.1} mV/dec", self.best_swing),
+            "32 mV/dec".into(),
+        ]);
+        s.push_owned_row(vec![
+            "on-current density".into(),
+            format!("{:.2} mA/µm", self.on_density_ma_per_um),
+            "~1 mA/µm".into(),
+        ]);
+        s.push_owned_row(vec![
+            "forward gate modulation".into(),
+            if self.forward_gate_insensitive {
+                "< 1 %".into()
+            } else {
+                "significant".into()
+            },
+            "hardly modulating".into(),
+        ]);
+        s.push_owned_row(vec![
+            "on/off".into(),
+            format!("{:.1e}", self.on_off),
+            "several decades".into(),
+        ]);
+        writeln!(f, "{s}")?;
+        writeln!(
+            f,
+            "thermal limit: {SS_THERMAL_LIMIT_MV_PER_DEC:.1} mV/dec — the best interval beats it"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swing_matches_the_paper_window() {
+        let fig = run().unwrap();
+        assert!(
+            (60.0..105.0).contains(&fig.average_swing),
+            "average {} (paper 83)",
+            fig.average_swing
+        );
+        assert!(
+            fig.best_swing < SS_THERMAL_LIMIT_MV_PER_DEC,
+            "best interval {} must be sub-thermal",
+            fig.best_swing
+        );
+    }
+
+    #[test]
+    fn on_current_is_milliamp_class() {
+        let fig = run().unwrap();
+        assert!(
+            fig.on_density_ma_per_um > 0.3,
+            "density {} mA/µm",
+            fig.on_density_ma_per_um
+        );
+    }
+
+    #[test]
+    fn forward_branch_is_a_diode_not_a_fet() {
+        let fig = run().unwrap();
+        assert!(fig.forward_gate_insensitive);
+    }
+
+    #[test]
+    fn many_decades_of_modulation() {
+        let fig = run().unwrap();
+        assert!(fig.on_off > 1e4, "on/off {}", fig.on_off);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("83 mV/dec"));
+        assert!(s.contains("thermal limit"));
+    }
+}

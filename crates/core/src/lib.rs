@@ -1,0 +1,49 @@
+//! Experiment layer: every figure and quantitative claim of
+//! *Kreupl, "Advancing CMOS with Carbon Electronics", DATE 2014*,
+//! regenerated from the workspace's own substrates.
+//!
+//! One module per artifact (see `DESIGN.md` §3 for the experiment
+//! index):
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig1`] | Fig. 1 — simulated CNT-FET vs GNR-FET, same 0.56 eV gap |
+//! | [`fig2`] | Fig. 2 — inverter VTCs with/without current saturation |
+//! | [`fig3`] | Fig. 3 — GAA electrostatics + Skotnicki–Boeuf dark space |
+//! | [`fig4`] | Fig. 4 — contact resistance degrading the CNT-FET |
+//! | [`fig5`] | Fig. 5 — Ion vs gate length benchmark (CNT/Si/III-V) |
+//! | [`fig6`] | Fig. 6 — CNT tunnel FET with sub-thermal swing |
+//! | [`cascade`] | §II — signal regeneration in cascaded logic |
+//! | [`claims`] | §II/§III scalar claims (trigate vs CNT, 11 kΩ, ...) |
+//! | [`rf`] | §II RF argument — no saturation, no voltage gain, no f_max |
+//! | [`ablations`] | design-knob sweeps behind each figure |
+//! | [`variability_logic`] | §V dispersion → noise-margin Monte-Carlo |
+//! | [`fig7_stats`] | §V — Park-style 10,000-device statistics |
+//! | [`fig8_computer`] | §V — the one-bit SUBNEG CNT computer |
+//!
+//! Every module exposes `run()` returning a typed result whose
+//! `Display` prints the same rows/series the paper reports; the
+//! `report` binary (`cargo run -p carbon-core --bin report`) prints all
+//! of them, which is how `EXPERIMENTS.md` is produced.
+
+#![deny(missing_docs)]
+
+pub mod ablations;
+pub mod cascade;
+pub mod claims;
+pub mod error;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_stats;
+pub mod fig8_computer;
+pub mod refdata;
+pub mod rf;
+pub mod table;
+pub mod variability_logic;
+
+pub use error::CoreError;
+pub use table::Table;

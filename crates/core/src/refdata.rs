@@ -1,0 +1,132 @@
+//! Literature reference datasets for the Fig. 5 benchmark.
+//!
+//! The paper's Fig. 5 overlays CNT-FET measurements on del Alamo's
+//! benchmark of Si, InAs, and InGaAs transistors (Nature 479, 317
+//! (2011)): on-current at `V_DS = 0.5 V`, normalized to an off-current
+//! of 100 nA/µm, versus gate length. The Si/III-V points below are
+//! curated approximations of that plot's trend lines (the paper itself
+//! uses them as literature data, not as its own measurements); the CNT
+//! points are *simulated* by `carbon-devices`, mirroring how the paper
+//! adds measured CNT devices onto the literature background.
+
+/// One reference device point for the benchmark plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefPoint {
+    /// Gate length, nm.
+    pub gate_length_nm: f64,
+    /// On-current density at `V_DS = 0.5 V`, `I_off = 100 nA/µm`, in
+    /// µA/µm.
+    pub ion_ua_per_um: f64,
+}
+
+/// A labelled reference technology series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefSeries {
+    /// Technology label as used in the paper's legend.
+    pub label: &'static str,
+    /// Benchmark points, sorted by gate length.
+    pub points: Vec<RefPoint>,
+}
+
+fn series(label: &'static str, data: &[(f64, f64)]) -> RefSeries {
+    RefSeries {
+        label,
+        points: data
+            .iter()
+            .map(|&(l, i)| RefPoint {
+                gate_length_nm: l,
+                ion_ua_per_um: i,
+            })
+            .collect(),
+    }
+}
+
+/// Silicon MOSFET trend (planar + early FinFET era): current density
+/// degrades as the gate shortens because the supply and electrostatics
+/// tighten together.
+pub fn silicon() -> RefSeries {
+    series(
+        "Si MOSFET",
+        &[
+            (30.0, 300.0),
+            (45.0, 380.0),
+            (65.0, 450.0),
+            (90.0, 500.0),
+            (130.0, 520.0),
+        ],
+    )
+}
+
+/// InAs HEMT benchmark points (del Alamo).
+pub fn inas_hemt() -> RefSeries {
+    series(
+        "InAs HEMT",
+        &[
+            (30.0, 450.0),
+            (40.0, 500.0),
+            (60.0, 560.0),
+            (85.0, 600.0),
+            (130.0, 620.0),
+        ],
+    )
+}
+
+/// InGaAs HEMT/MOSFET benchmark points.
+pub fn ingaas() -> RefSeries {
+    series(
+        "InGaAs FET",
+        &[
+            (30.0, 350.0),
+            (45.0, 420.0),
+            (75.0, 480.0),
+            (110.0, 520.0),
+            (150.0, 540.0),
+        ],
+    )
+}
+
+/// All literature series of the Fig. 5 background.
+pub fn all_reference_series() -> Vec<RefSeries> {
+    vec![silicon(), inas_hemt(), ingaas()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_are_sorted_and_positive() {
+        for s in all_reference_series() {
+            assert!(!s.points.is_empty(), "{}", s.label);
+            assert!(
+                s.points
+                    .windows(2)
+                    .all(|w| w[1].gate_length_nm > w[0].gate_length_nm),
+                "{} sorted",
+                s.label
+            );
+            assert!(s.points.iter().all(|p| p.ion_ua_per_um > 0.0));
+        }
+    }
+
+    #[test]
+    fn iii_v_beats_silicon_at_short_gate_length() {
+        // The del Alamo story the paper builds on.
+        let si = silicon();
+        let inas = inas_hemt();
+        assert!(inas.points[0].ion_ua_per_um > si.points[0].ion_ua_per_um);
+    }
+
+    #[test]
+    fn everything_degrades_toward_short_channels() {
+        for s in all_reference_series() {
+            assert!(
+                s.points
+                    .windows(2)
+                    .all(|w| w[1].ion_ua_per_um >= w[0].ion_ua_per_um),
+                "{} monotone with length",
+                s.label
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! §II RF argument — "no current saturation, no f_max".
+//!
+//! The paper (citing Schwierz's overview, ref. \[8\]) explains why GNRs
+//! also fail in radio-frequency use: a short-channel device without
+//! current saturation has a huge output conductance, "which as a
+//! consequence, leads to very low voltage gain in the FET and this only
+//! enables very low values of the maximum frequency of oscillation
+//! (f_max)". This experiment computes the small-signal figures of merit
+//! of the saturating CNT-FET and the non-saturating real-GNR device at
+//! the same footprint and bias class, and cross-validates the analytic
+//! gain against an AC simulation of the actual common-source stage.
+
+use std::sync::Arc;
+
+use carbon_devices::{BallisticFet, LinearGnrFet};
+use carbon_logic::{RfFigures, RfStage};
+use carbon_units::{Capacitance, Resistance, Voltage};
+
+use crate::error::CoreError;
+use crate::table::Table;
+
+/// Results of the RF comparison.
+#[derive(Debug, Clone)]
+pub struct RfComparison {
+    /// CNT-FET figures of merit.
+    pub cnt: RfFigures,
+    /// Real-GNR figures of merit.
+    pub gnr: RfFigures,
+    /// Simulated (AC engine) voltage gain of the CNT stage.
+    pub cnt_simulated_gain: f64,
+    /// Simulated voltage gain of the GNR stage.
+    pub gnr_simulated_gain: f64,
+}
+
+/// Runs the RF experiment.
+///
+/// # Errors
+///
+/// Propagates device and simulation failures.
+pub fn run() -> Result<RfComparison, CoreError> {
+    // Identical parasitic environment: 30 nm of wrap gate at
+    // ~0.4 fF/µm-equivalent → ~12 aF split 2:1 between C_gs and C_gd,
+    // 100 Ω gate resistance.
+    let cgs = Capacitance::from_attofarads(8.0);
+    let cgd = Capacitance::from_attofarads(4.0);
+    let rg = Resistance::from_ohms(100.0);
+    let load = Resistance::from_kilohms(500.0);
+
+    let cnt_stage = RfStage::new(
+        Arc::new(BallisticFet::cnt_fig1()?),
+        Voltage::from_volts(0.5),
+        Voltage::from_volts(0.4),
+        cgs,
+        cgd,
+        rg,
+    )?;
+    let gnr_stage = RfStage::new(
+        Arc::new(LinearGnrFet::sub10nm_fig1()),
+        Voltage::from_volts(1.0),
+        Voltage::from_volts(0.5),
+        cgs,
+        cgd,
+        rg,
+    )?;
+    Ok(RfComparison {
+        cnt: cnt_stage.figures(),
+        gnr: gnr_stage.figures(),
+        cnt_simulated_gain: cnt_stage.simulated_voltage_gain(load)?,
+        gnr_simulated_gain: gnr_stage.simulated_voltage_gain(load)?,
+    })
+}
+
+impl std::fmt::Display for RfComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = Table::new(
+            "§II RF — saturating CNT-FET vs non-saturating GNR (same parasitics)",
+            &["figure of merit", "CNT-FET", "real GNR", "paper"],
+        );
+        t.push_owned_row(vec![
+            "g_m [µS]".into(),
+            format!("{:.1}", self.cnt.gm * 1e6),
+            format!("{:.1}", self.gnr.gm * 1e6),
+            "—".into(),
+        ]);
+        t.push_owned_row(vec![
+            "g_ds [µS]".into(),
+            format!("{:.1}", self.cnt.gds * 1e6),
+            format!("{:.1}", self.gnr.gds * 1e6),
+            "huge without saturation".into(),
+        ]);
+        t.push_owned_row(vec![
+            "A_v = g_m/g_ds".into(),
+            format!("{:.1}", self.cnt.voltage_gain),
+            format!("{:.2}", self.gnr.voltage_gain),
+            "very low voltage gain (GNR)".into(),
+        ]);
+        t.push_owned_row(vec![
+            "A_v (AC simulation)".into(),
+            format!("{:.1}", self.cnt_simulated_gain),
+            format!("{:.2}", self.gnr_simulated_gain),
+            "(cross-check)".into(),
+        ]);
+        t.push_owned_row(vec![
+            "f_T [GHz]".into(),
+            format!("{:.0}", self.cnt.ft / 1e9),
+            format!("{:.0}", self.gnr.ft / 1e9),
+            "high f_T possible either way".into(),
+        ]);
+        t.push_owned_row(vec![
+            "f_max [GHz]".into(),
+            format!("{:.0}", self.cnt.fmax / 1e9),
+            format!("{:.0}", self.gnr.fmax / 1e9),
+            "very low f_max (GNR)".into(),
+        ]);
+        writeln!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnt_has_gain_gnr_does_not() {
+        let rf = run().unwrap();
+        assert!(rf.cnt.voltage_gain > 5.0, "CNT A_v {}", rf.cnt.voltage_gain);
+        assert!(rf.gnr.voltage_gain < 2.0, "GNR A_v {}", rf.gnr.voltage_gain);
+    }
+
+    #[test]
+    fn fmax_ratio_is_large() {
+        let rf = run().unwrap();
+        assert!(
+            rf.cnt.fmax / rf.gnr.fmax > 3.0,
+            "f_max: CNT {:.2e} vs GNR {:.2e}",
+            rf.cnt.fmax,
+            rf.gnr.fmax
+        );
+    }
+
+    #[test]
+    fn ac_engine_confirms_the_gain_ordering() {
+        let rf = run().unwrap();
+        assert!(rf.cnt_simulated_gain > 2.0 * rf.gnr_simulated_gain);
+        assert!(rf.gnr_simulated_gain < 1.5);
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run().unwrap().to_string();
+        assert!(s.contains("f_max"));
+        assert!(s.contains("A_v"));
+    }
+}

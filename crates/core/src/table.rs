@@ -1,0 +1,148 @@
+//! Plain-text tables for experiment reports.
+
+use std::fmt;
+
+/// A titled, column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_core::Table;
+///
+/// let mut t = Table::new("Demo", &["device", "I_on"]);
+/// t.push_row(&["CNT", "20 µA"]);
+/// let s = t.to_string();
+/// assert!(s.contains("Demo") && s.contains("20 µA"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: &[&str]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_owned_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "### {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                let pad = w - cell.chars().count();
+                write!(f, " {}{} |", cell, " ".repeat(pad))?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an `f64` with `digits` significant decimals, trimming noise.
+pub fn num(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Formats a current in amperes as µA with two decimals.
+pub fn microamps(amps: f64) -> String {
+    format!("{:.2} µA", amps * 1e6)
+}
+
+/// Formats a value in scientific notation with two significant decimals.
+pub fn sci(value: f64) -> String {
+    format!("{value:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("T", &["a", "long header"]);
+        t.push_row(&["x", "1"]);
+        t.push_owned_row(vec!["longer cell".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("### T\n"));
+        assert!(s.contains("| a           | long header |"));
+        assert!(s.contains("| longer cell | 2           |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_mismatched_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(&["only one"]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(num(0.39942, 2), "0.40");
+        assert_eq!(microamps(6.6e-5), "66.00 µA");
+        assert_eq!(sci(123456.0), "1.23e5");
+    }
+}

@@ -1,0 +1,364 @@
+//! I-V curves and figure-of-merit extraction: subthreshold swing, DIBL,
+//! normalized on-current, on/off ratio, transconductance, and the
+//! saturation metric used to contrast CNTs with real GNRs.
+//!
+//! The benchmark methodology mirrors the paper's Fig. 5: every device is
+//! compared at the same `V_DS` with the gate window positioned so the
+//! off-current is a fixed 100 nA/µm, and the on-current read one supply
+//! voltage above that point.
+
+use carbon_units::Voltage;
+
+/// A sampled I-V characteristic with a monotonically increasing bias
+/// grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvCurve {
+    bias: Vec<f64>,
+    current: Vec<f64>,
+}
+
+/// Error from figure-of-merit extraction when the requested feature is
+/// not present in the curve (e.g. the curve never crosses the target
+/// current).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractError(String);
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "extraction failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl IvCurve {
+    /// Wraps sampled data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, have fewer than 2 points,
+    /// or the bias grid is not strictly increasing.
+    pub fn new(bias: Vec<f64>, current: Vec<f64>) -> Self {
+        assert_eq!(bias.len(), current.len(), "bias/current length mismatch");
+        assert!(bias.len() >= 2, "need at least two samples");
+        assert!(
+            bias.windows(2).all(|w| w[1] > w[0]),
+            "bias grid must be strictly increasing"
+        );
+        Self { bias, current }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// `true` if the curve is empty (never true for a constructed curve).
+    pub fn is_empty(&self) -> bool {
+        self.bias.is_empty()
+    }
+
+    /// The bias grid.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// The sampled currents.
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Linear interpolation of the current at `v` (clamped to the grid).
+    pub fn current_at(&self, v: f64) -> f64 {
+        if v <= self.bias[0] {
+            return self.current[0];
+        }
+        if v >= *self.bias.last().expect("non-empty") {
+            return *self.current.last().expect("non-empty");
+        }
+        let k = self.bias.partition_point(|&b| b < v);
+        let (b0, b1) = (self.bias[k - 1], self.bias[k]);
+        let (i0, i1) = (self.current[k - 1], self.current[k]);
+        i0 + (i1 - i0) * (v - b0) / (b1 - b0)
+    }
+
+    /// The bias at which the (monotone, positive) current crosses
+    /// `target`, using log-linear interpolation — the placement step of
+    /// the Fig. 5 off-current normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError`] if the current is not positive where
+    /// needed or never crosses `target`.
+    pub fn bias_at_current(&self, target: f64) -> Result<f64, ExtractError> {
+        if target <= 0.0 {
+            return Err(ExtractError(format!("target current must be positive, got {target}")));
+        }
+        for k in 1..self.len() {
+            let (i0, i1) = (self.current[k - 1], self.current[k]);
+            if (i0 <= target && target <= i1) || (i1 <= target && target <= i0) {
+                if i0 <= 0.0 || i1 <= 0.0 {
+                    return Err(ExtractError("current not positive at the crossing".into()));
+                }
+                let (b0, b1) = (self.bias[k - 1], self.bias[k]);
+                if i0 == i1 {
+                    return Ok(b0);
+                }
+                let f = (target.ln() - i0.ln()) / (i1.ln() - i0.ln());
+                return Ok(b0 + f * (b1 - b0));
+            }
+        }
+        Err(ExtractError(format!(
+            "curve never crosses {target:.3e} A (range {:.3e}..{:.3e})",
+            self.current.first().copied().unwrap_or(f64::NAN),
+            self.current.last().copied().unwrap_or(f64::NAN)
+        )))
+    }
+
+    /// Average subthreshold swing in mV/decade between two current
+    /// levels on a transfer curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError`] if either level is not crossed.
+    pub fn swing_between(&self, i_low: f64, i_high: f64) -> Result<f64, ExtractError> {
+        let v_low = self.bias_at_current(i_low)?;
+        let v_high = self.bias_at_current(i_high)?;
+        let decades = (i_high / i_low).log10();
+        if decades <= 0.0 {
+            return Err(ExtractError("i_high must exceed i_low".into()));
+        }
+        Ok(((v_high - v_low).abs() / decades) * 1e3)
+    }
+
+    /// The steepest point-to-point swing (mV/dec) anywhere the current
+    /// spans at least `min_ratio` between adjacent samples — the metric
+    /// behind the paper's "some of the individual sweep points do even
+    /// have a better SS like 32 mV/dec".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError`] if no adjacent pair spans `min_ratio`.
+    pub fn steepest_swing(&self, min_ratio: f64) -> Result<f64, ExtractError> {
+        let mut best: Option<f64> = None;
+        for k in 1..self.len() {
+            let (i0, i1) = (self.current[k - 1], self.current[k]);
+            if i0 > 0.0 && i1 > 0.0 {
+                let ratio = (i1 / i0).max(i0 / i1);
+                if ratio >= min_ratio {
+                    let decades = ratio.log10();
+                    let ss = (self.bias[k] - self.bias[k - 1]).abs() / decades * 1e3;
+                    best = Some(best.map_or(ss, |b: f64| b.min(ss)));
+                }
+            }
+        }
+        best.ok_or_else(|| {
+            ExtractError(format!("no adjacent samples span a current ratio of {min_ratio}"))
+        })
+    }
+
+    /// On/off current ratio over the full sampled gate window.
+    pub fn on_off_ratio(&self) -> f64 {
+        let max = self.current.iter().cloned().fold(f64::MIN, f64::max);
+        let min = self
+            .current
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min)
+            .max(1e-30);
+        max / min
+    }
+
+    /// Peak point-to-point transconductance (A/V) of a transfer curve.
+    pub fn peak_gm(&self) -> f64 {
+        self.current
+            .windows(2)
+            .zip(self.bias.windows(2))
+            .map(|(i, v)| ((i[1] - i[0]) / (v[1] - v[0])).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Saturation figure of an *output* curve: the ratio of the average
+    /// conductance in the first 20 % of the V_DS range to that in the
+    /// last 20 %. A hard-saturating FET scores ≫ 1; an ohmic device
+    /// (the paper's "real GNR") scores ≈ 1.
+    pub fn saturation_figure(&self) -> f64 {
+        let n = self.len();
+        let k = (n / 5).max(1);
+        let g_head = (self.current[k] - self.current[0])
+            / (self.bias[k] - self.bias[0]);
+        let g_tail = (self.current[n - 1] - self.current[n - 1 - k])
+            / (self.bias[n - 1] - self.bias[n - 1 - k]);
+        if g_tail.abs() < 1e-30 {
+            return f64::INFINITY;
+        }
+        (g_head / g_tail).abs()
+    }
+}
+
+/// The Fig. 5 benchmark normalization: given a transfer curve sampled at
+/// the benchmark `V_DS`, positions the gate window so the off-current is
+/// `i_off` and returns the on-current read `v_dd` above that point.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] if the curve never reaches `i_off`, or if the
+/// window extends past the sampled range by more than the clamp the
+/// curve's edge provides.
+pub fn normalized_on_current(
+    transfer: &IvCurve,
+    i_off: f64,
+    v_dd: Voltage,
+) -> Result<f64, ExtractError> {
+    let v_off = transfer.bias_at_current(i_off)?;
+    Ok(transfer.current_at(v_off + v_dd.volts()))
+}
+
+/// Drain-induced barrier lowering in mV/V from two transfer curves taken
+/// at a low and a high drain bias: the gate-voltage shift of a constant
+/// reference current divided by the drain-voltage difference.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] if either curve misses the reference current
+/// or the drain biases coincide.
+pub fn dibl(
+    low: &IvCurve,
+    vds_low: Voltage,
+    high: &IvCurve,
+    vds_high: Voltage,
+    i_ref: f64,
+) -> Result<f64, ExtractError> {
+    let dv = vds_high.volts() - vds_low.volts();
+    if dv.abs() < 1e-12 {
+        return Err(ExtractError("drain biases must differ".into()));
+    }
+    let v1 = low.bias_at_current(i_ref)?;
+    let v2 = high.bias_at_current(i_ref)?;
+    Ok((v1 - v2) / dv * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp_curve(ss_mv: f64, n: usize) -> IvCurve {
+        // I = 1e-9 · 10^(v / (ss/1000)): exactly ss mV/dec.
+        let bias: Vec<f64> = (0..n).map(|k| k as f64 * 0.01).collect();
+        let current = bias
+            .iter()
+            .map(|v| 1e-9 * 10f64.powf(v / (ss_mv / 1e3)))
+            .collect();
+        IvCurve::new(bias, current)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(std::panic::catch_unwind(|| IvCurve::new(vec![0.0], vec![1.0])).is_err());
+        assert!(
+            std::panic::catch_unwind(|| IvCurve::new(vec![0.0, 0.0], vec![1.0, 2.0])).is_err()
+        );
+        assert!(
+            std::panic::catch_unwind(|| IvCurve::new(vec![0.0, 1.0], vec![1.0])).is_err()
+        );
+    }
+
+    #[test]
+    fn interpolation() {
+        let c = IvCurve::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0]);
+        assert_eq!(c.current_at(-1.0), 0.0);
+        assert_eq!(c.current_at(0.5), 5.0);
+        assert_eq!(c.current_at(1.5), 25.0);
+        assert_eq!(c.current_at(3.0), 40.0);
+    }
+
+    #[test]
+    fn swing_extraction_recovers_exact_exponential() {
+        let c = exp_curve(60.0, 60);
+        let ss = c.swing_between(1e-8, 1e-6).unwrap();
+        assert!((ss - 60.0).abs() < 0.5, "ss = {ss}");
+        let c83 = exp_curve(83.0, 60);
+        let ss83 = c83.swing_between(1e-8, 1e-6).unwrap();
+        assert!((ss83 - 83.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn steepest_swing_finds_local_steep_region() {
+        // Two-slope curve: 100 mV/dec then 30 mV/dec.
+        let mut bias = vec![];
+        let mut cur = vec![];
+        let mut v = 0.0;
+        let mut i: f64 = 1e-10;
+        for _ in 0..10 {
+            bias.push(v);
+            cur.push(i);
+            v += 0.01;
+            i *= 10f64.powf(0.01 / 0.100);
+        }
+        for _ in 0..10 {
+            bias.push(v);
+            cur.push(i);
+            v += 0.01;
+            i *= 10f64.powf(0.01 / 0.030);
+        }
+        let c = IvCurve::new(bias, cur);
+        let best = c.steepest_swing(1.2).unwrap();
+        assert!((best - 30.0).abs() < 1.0, "best = {best}");
+    }
+
+    #[test]
+    fn bias_at_current_log_interpolates() {
+        let c = exp_curve(60.0, 60);
+        let v = c.bias_at_current(1e-7).unwrap();
+        // 2 decades above 1e-9 → v = 0.12.
+        assert!((v - 0.12).abs() < 1e-6, "v = {v}");
+        assert!(c.bias_at_current(1e3).is_err(), "beyond range");
+        assert!(c.bias_at_current(-1.0).is_err());
+    }
+
+    #[test]
+    fn normalized_ion_on_exponential_plus_linear() {
+        // Exponential to 1 µA then linear: check the two-step procedure.
+        let c = exp_curve(60.0, 60);
+        let ion = normalized_on_current(&c, 1e-9, Voltage::from_volts(0.3)).unwrap();
+        // 0.3 V / 60 mV = 5 decades above 1e-9 → 1e-4 (clamped inside).
+        assert!((ion.log10() + 4.0).abs() < 0.1, "ion = {ion:.3e}");
+    }
+
+    #[test]
+    fn dibl_extraction() {
+        let low = exp_curve(60.0, 60);
+        // High-V_DS curve shifted left by 50 mV (barrier lowering).
+        let bias: Vec<f64> = low.bias().iter().map(|v| v - 0.05).collect();
+        let high = IvCurve::new(bias, low.current().to_vec());
+        let d = dibl(
+            &low,
+            Voltage::from_volts(0.05),
+            &high,
+            Voltage::from_volts(0.55),
+            1e-7,
+        )
+        .unwrap();
+        assert!((d - 100.0).abs() < 1.0, "DIBL = {d} mV/V");
+    }
+
+    #[test]
+    fn saturation_figure_discriminates() {
+        // Saturating: i = tanh(5 v); ohmic: i = v.
+        let bias: Vec<f64> = (0..51).map(|k| k as f64 * 0.01).collect();
+        let sat = IvCurve::new(
+            bias.clone(),
+            bias.iter().map(|v| (5.0 * v).tanh()).collect(),
+        );
+        let ohm = IvCurve::new(bias.clone(), bias.clone());
+        assert!(sat.saturation_figure() > 5.0);
+        assert!((ohm.saturation_figure() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn on_off_and_gm() {
+        let c = exp_curve(60.0, 60);
+        assert!(c.on_off_ratio() > 1e5);
+        assert!(c.peak_gm() > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the compact models: invariants every
+//! physically sane FET model must satisfy across its parameter space.
+
+use std::sync::Arc;
+
+use carbon_devices::{
+    AlphaPowerFet, CntTfet, Fet, IvCurve, LinearGnrFet, SeriesResistance, TableFet,
+};
+use carbon_spice::FetCurve;
+use carbon_units::{Resistance, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Alpha-power devices: monotone in V_GS, monotone in V_DS,
+    /// antisymmetric under drain reversal, for random valid parameters.
+    #[test]
+    fn alpha_power_is_well_behaved(
+        vt in 0.1_f64..0.5,
+        alpha in 1.0_f64..2.0,
+        lambda in 0.0_f64..0.5,
+        vgs in 0.0_f64..1.2,
+        vds in 0.0_f64..1.2,
+    ) {
+        let f = AlphaPowerFet::new(vt, alpha, 5e-4, 0.8, lambda, 75.0).expect("valid");
+        let i = f.ids(vgs, vds);
+        prop_assert!(i >= 0.0 && i.is_finite());
+        prop_assert!(f.ids(vgs + 0.05, vds) >= i - 1e-15, "monotone in vgs");
+        prop_assert!(f.ids(vgs, vds + 0.05) >= i - 1e-15, "monotone in vds");
+        // Drain reversal: source-referred swap.
+        let rev = f.ids(vgs - vds, -vds);
+        prop_assert!((i + rev).abs() < 1e-12 + 1e-9 * i.abs(), "antisymmetric");
+    }
+
+    /// The p-type mirror is the exact negative image of the n-type.
+    #[test]
+    fn p_type_mirror_is_exact(
+        vt in 0.1_f64..0.5,
+        vgs in -1.2_f64..1.2,
+        vds in -1.2_f64..1.2,
+    ) {
+        let n = AlphaPowerFet::new(vt, 1.3, 5e-4, 0.8, 0.15, 75.0).expect("valid");
+        let p = n.clone().into_p_type();
+        prop_assert!((n.ids(vgs, vds) + p.ids(-vgs, -vds)).abs() < 1e-15);
+    }
+
+    /// Series resistance interpolates between the unloaded device and
+    /// the pure-resistor limit, monotonically in R.
+    #[test]
+    fn series_resistance_monotone_in_r(
+        vgs in 0.4_f64..1.0,
+        vds in 0.1_f64..1.0,
+        r1 in 1.0_f64..100.0,
+        dr in 1.0_f64..200.0,
+    ) {
+        let inner = Arc::new(AlphaPowerFet::fig2_nfet());
+        let small = SeriesResistance::symmetric(inner.clone(), Resistance::from_kilohms(r1));
+        let large = SeriesResistance::symmetric(inner, Resistance::from_kilohms(r1 + dr));
+        prop_assert!(large.ids(vgs, vds) <= small.ids(vgs, vds) * (1.0 + 1e-9));
+    }
+
+    /// Table models agree with their source on random interior points to
+    /// within the grid's interpolation error budget.
+    #[test]
+    fn table_tracks_source(vgs in 0.05_f64..0.95, vds in 0.05_f64..0.95) {
+        let inner = AlphaPowerFet::fig2_nfet();
+        let table = TableFet::sample(&inner, (0.0, 1.0), (0.0, 1.0), 81, 81).expect("table");
+        let exact = inner.ids(vgs, vds);
+        let approx = table.ids(vgs, vds);
+        prop_assert!(
+            (exact - approx).abs() < 0.02 * exact.abs().max(1e-5),
+            "({vgs:.3}, {vds:.3}): {exact:.4e} vs {approx:.4e}"
+        );
+    }
+
+    /// The TFET reverse branch is monotone in gate drive and bounded by
+    /// its Kane prefactor envelope.
+    #[test]
+    fn tfet_reverse_branch_monotone(vg in -1.2_f64..0.2) {
+        let t = CntTfet::fig6();
+        let i1 = t.ids(vg, -0.5).abs();
+        let i2 = t.ids(vg - 0.05, -0.5).abs();
+        prop_assert!(i2 >= i1 * 0.999, "more negative gate → more current");
+        prop_assert!(i1 < 1e-3, "bounded");
+    }
+
+    /// The linear GNR's conductance is monotone in gate voltage and its
+    /// current is antisymmetric in drain bias.
+    #[test]
+    fn linear_gnr_invariants(vgs in -0.5_f64..1.5, vds in 0.0_f64..1.5) {
+        let g = LinearGnrFet::sub10nm_fig1();
+        let c1 = g.conductance(Voltage::from_volts(vgs));
+        let c2 = g.conductance(Voltage::from_volts(vgs + 0.1));
+        prop_assert!(c2 >= c1);
+        prop_assert!((g.ids(vgs, vds) + g.ids(vgs, -vds)).abs() < 1e-18);
+    }
+
+    /// IvCurve extraction: `bias_at_current` inverts `current_at` on
+    /// strictly monotone positive curves.
+    #[test]
+    fn curve_inversion_roundtrip(
+        decades_per_volt in 5.0_f64..20.0,
+        probe in 0.1_f64..0.9,
+    ) {
+        let bias: Vec<f64> = (0..=100).map(|k| k as f64 / 100.0).collect();
+        let current: Vec<f64> = bias
+            .iter()
+            .map(|v| 1e-12 * 10f64.powf(v * decades_per_volt))
+            .collect();
+        let curve = IvCurve::new(bias, current);
+        let i_probe = curve.current_at(probe);
+        let v_back = curve.bias_at_current(i_probe).expect("in range");
+        prop_assert!((v_back - probe).abs() < 0.02, "{probe} → {v_back}");
+    }
+
+    /// Swing extraction on a pure exponential returns the construction
+    /// slope for any slope.
+    #[test]
+    fn swing_extraction_is_exact(ss_mv in 40.0_f64..300.0) {
+        let bias: Vec<f64> = (0..=200).map(|k| k as f64 * 0.005).collect();
+        let current: Vec<f64> = bias
+            .iter()
+            .map(|v| 1e-12 * 10f64.powf(v / (ss_mv / 1e3)))
+            .collect();
+        let curve = IvCurve::new(bias, current);
+        let lo = 1e-11;
+        let hi = 1e-9;
+        if curve.current()[curve.len() - 1] > hi * 10.0 {
+            let ss = curve.swing_between(lo, hi).expect("crosses");
+            prop_assert!((ss - ss_mv).abs() < 0.02 * ss_mv, "{ss} vs {ss_mv}");
+        }
+    }
+}

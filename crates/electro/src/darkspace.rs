@@ -1,0 +1,272 @@
+//! The Skotnicki–Boeuf "dark space" model: effective gate dielectric
+//! thickness in inversion for different channel materials.
+//!
+//! High-mobility channels have a low density of states and a large
+//! dielectric constant. Both effects push the gate's grip away from the
+//! channel:
+//!
+//! * the inversion charge centroid sits a distance `z_c` (the *dark
+//!   space*) below the dielectric interface, adding a series capacitance
+//!   `ε_ch/z_c`,
+//! * the low DOS adds a quantum-capacitance deficit `C_q = q²·DOS`.
+//!
+//! In capacitance-equivalent-thickness (CET) terms:
+//!
+//! ```text
+//! CET_inv = EOT + (ε_SiO₂/ε_ch)·z_dark + ε_SiO₂·q²⁻¹·C_q⁻¹·ε₀
+//! ```
+//!
+//! so a III-V device can have a *worse* CET than silicon with the same
+//! physical high-k stack — "which in essence means that silicon would do
+//! even better" (paper §I). A CNT conducts in one atomic layer: its dark
+//! space is essentially zero (paper §III.C), which this module encodes.
+
+use carbon_units::consts::{EPS_0, EPS_R_SIO2, K_B, M_0, Q_E, ROOM_TEMPERATURE};
+use carbon_units::Length;
+
+/// A channel material with the parameters the dark-space model needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelMaterial {
+    name: &'static str,
+    eps_r: f64,
+    /// DOS effective mass (in units of m₀) of the lowest conduction valley.
+    m_dos: f64,
+    /// Charge-centroid depth below the dielectric interface, m.
+    dark_space: Length,
+}
+
+impl ChannelMaterial {
+    /// Silicon (100), the reference: m* ≈ 0.26 m₀, centroid ≈ 0.7 nm
+    /// (the value the paper quotes: "a dark space in the order of
+    /// 0.7 nm like in silicon").
+    pub fn silicon() -> Self {
+        Self {
+            name: "Si",
+            eps_r: 11.7,
+            m_dos: 0.26,
+            dark_space: Length::from_nanometers(0.7),
+        }
+    }
+
+    /// In₀.₅₃Ga₀.₄₇As: very light Γ-valley electrons (m* ≈ 0.041 m₀),
+    /// deeper centroid (~1.5 nm).
+    pub fn ingaas() -> Self {
+        Self {
+            name: "InGaAs",
+            eps_r: 13.9,
+            m_dos: 0.041,
+            dark_space: Length::from_nanometers(1.5),
+        }
+    }
+
+    /// InAs: the lightest common III-V channel (m* ≈ 0.023 m₀),
+    /// centroid ~2 nm.
+    pub fn inas() -> Self {
+        Self {
+            name: "InAs",
+            eps_r: 15.15,
+            m_dos: 0.023,
+            dark_space: Length::from_nanometers(2.0),
+        }
+    }
+
+    /// Germanium pFET-oriented channel (m* ≈ 0.22 m₀ L-valley DOS mass
+    /// proxy), centroid ~1 nm.
+    pub fn germanium() -> Self {
+        Self {
+            name: "Ge",
+            eps_r: 16.0,
+            m_dos: 0.22,
+            dark_space: Length::from_nanometers(1.0),
+        }
+    }
+
+    /// A carbon nanotube treated as a planar-equivalent channel: current
+    /// flows in a single atomic layer, so the centroid offset is the
+    /// electronic thickness of that layer (~0.05 nm) — "there cannot be a
+    /// dark space in the order of 0.7 nm like in silicon, because this
+    /// would already be out of the material" (§III.C). The DOS mass is a
+    /// planar-equivalent proxy: the van Hove edge enhancement plus the
+    /// 4-fold spin×valley degeneracy give a near-edge DOS comparable to a
+    /// heavy 2-D band (≈ 0.4 m₀ equivalent), not the light mass its high
+    /// velocity would suggest.
+    pub fn cnt() -> Self {
+        Self {
+            name: "CNT",
+            eps_r: 3.0,
+            m_dos: 0.4,
+            dark_space: Length::from_nanometers(0.05),
+        }
+    }
+
+    /// Material name for tables.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Relative permittivity of the channel.
+    pub fn eps_r(&self) -> f64 {
+        self.eps_r
+    }
+
+    /// Charge-centroid depth.
+    pub fn dark_space(&self) -> Length {
+        self.dark_space
+    }
+
+    /// 2-D density of states `m*/(πħ²)` of one valley, 1/(J·m²).
+    pub fn dos_2d(&self) -> f64 {
+        let hbar = carbon_units::consts::HBAR;
+        self.m_dos * M_0 / (std::f64::consts::PI * hbar * hbar)
+    }
+
+    /// Quantum capacitance per area in the degenerate limit,
+    /// `C_q = q²·DOS₂D`, F/m².
+    pub fn quantum_capacitance(&self) -> f64 {
+        Q_E * Q_E * self.dos_2d()
+    }
+}
+
+/// The Skotnicki–Boeuf CET-in-inversion closure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DarkSpaceModel {
+    material: ChannelMaterial,
+}
+
+impl DarkSpaceModel {
+    /// Wraps a channel material.
+    pub fn new(material: ChannelMaterial) -> Self {
+        Self { material }
+    }
+
+    /// The material under analysis.
+    pub fn material(&self) -> &ChannelMaterial {
+        &self.material
+    }
+
+    /// Dark-space contribution to CET: the centroid depth re-expressed as
+    /// equivalent SiO₂ thickness, `(ε_SiO₂/ε_ch)·z_dark`.
+    pub fn darkspace_cet(&self) -> Length {
+        Length::from_meters(
+            EPS_R_SIO2 / self.material.eps_r * self.material.dark_space.meters(),
+        )
+    }
+
+    /// Quantum-capacitance contribution to CET:
+    /// `ε_SiO₂·ε₀ / C_q` expressed as equivalent SiO₂ thickness.
+    pub fn quantum_cet(&self) -> Length {
+        Length::from_meters(EPS_R_SIO2 * EPS_0 / self.material.quantum_capacitance())
+    }
+
+    /// Total capacitance-equivalent thickness in inversion for a gate
+    /// stack with the given EOT.
+    ///
+    /// This is the quantity Skotnicki & Boeuf show cannot be scaled away
+    /// by higher-k dielectrics: only the `eot` term responds to the
+    /// dielectric; the material terms are a floor.
+    pub fn cet_inversion(&self, eot: Length) -> Length {
+        Length::from_meters(
+            eot.meters() + self.darkspace_cet().meters() + self.quantum_cet().meters(),
+        )
+    }
+
+    /// The gate-efficiency penalty relative to an ideal stack: ratio of
+    /// ideal gate capacitance to actual inversion capacitance,
+    /// `CET_inv / EOT ≥ 1`. Larger is worse; it multiplies SS and DIBL
+    /// degradation in scaled devices.
+    pub fn gate_efficiency_penalty(&self, eot: Length) -> f64 {
+        self.cet_inversion(eot).meters() / eot.meters()
+    }
+
+    /// Thermal-limit sanity value exposed for tables: kT/q·ln10 at 300 K
+    /// in mV/dec multiplied by the penalty — the *effective* best swing a
+    /// long-channel device on this material can reach with this EOT if
+    /// the body factor is dominated by the CET ratio.
+    pub fn effective_swing_floor(&self, eot: Length) -> f64 {
+        let kt_ln10 = K_B * ROOM_TEMPERATURE / Q_E * std::f64::consts::LN_10 * 1e3;
+        kt_ln10 * self.gate_efficiency_penalty(eot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iii_v_has_larger_cet_than_silicon_at_same_eot() {
+        // The Skotnicki–Boeuf headline: at equal EOT the III-V stack is
+        // electrostatically thicker.
+        let eot = Length::from_nanometers(0.7);
+        let si = DarkSpaceModel::new(ChannelMaterial::silicon()).cet_inversion(eot);
+        let inas = DarkSpaceModel::new(ChannelMaterial::inas()).cet_inversion(eot);
+        let ingaas = DarkSpaceModel::new(ChannelMaterial::ingaas()).cet_inversion(eot);
+        assert!(inas > si, "InAs CET {} < Si {}", inas.nanometers(), si.nanometers());
+        assert!(ingaas > si);
+    }
+
+    #[test]
+    fn cnt_beats_silicon() {
+        let eot = Length::from_nanometers(0.7);
+        let si = DarkSpaceModel::new(ChannelMaterial::silicon()).cet_inversion(eot);
+        let cnt = DarkSpaceModel::new(ChannelMaterial::cnt()).cet_inversion(eot);
+        assert!(cnt < si, "CNT CET {} ≥ Si {}", cnt.nanometers(), si.nanometers());
+    }
+
+    #[test]
+    fn quantum_cet_grows_as_mass_falls() {
+        let si = DarkSpaceModel::new(ChannelMaterial::silicon()).quantum_cet();
+        let ingaas = DarkSpaceModel::new(ChannelMaterial::ingaas()).quantum_cet();
+        let inas = DarkSpaceModel::new(ChannelMaterial::inas()).quantum_cet();
+        assert!(si < ingaas && ingaas < inas);
+    }
+
+    #[test]
+    fn silicon_darkspace_cet_is_qualitatively_small() {
+        // 0.7 nm centroid in Si (ε 11.7) ≈ 0.23 nm of SiO₂-equivalent.
+        let d = DarkSpaceModel::new(ChannelMaterial::silicon()).darkspace_cet();
+        assert!((d.nanometers() - 0.233).abs() < 0.01);
+    }
+
+    #[test]
+    fn penalty_is_floor_bounded() {
+        let eot = Length::from_nanometers(0.5);
+        for m in [
+            ChannelMaterial::silicon(),
+            ChannelMaterial::ingaas(),
+            ChannelMaterial::inas(),
+            ChannelMaterial::germanium(),
+            ChannelMaterial::cnt(),
+        ] {
+            let p = DarkSpaceModel::new(m.clone()).gate_efficiency_penalty(eot);
+            assert!(p >= 1.0, "{}: penalty {p}", m.name());
+        }
+    }
+
+    #[test]
+    fn penalty_does_not_scale_away_with_thinner_eot() {
+        // Halving EOT *increases* the relative penalty — the model's
+        // point: the material floor does not scale.
+        let m = DarkSpaceModel::new(ChannelMaterial::inas());
+        let p_thick = m.gate_efficiency_penalty(Length::from_nanometers(1.0));
+        let p_thin = m.gate_efficiency_penalty(Length::from_nanometers(0.5));
+        assert!(p_thin > p_thick);
+    }
+
+    #[test]
+    fn effective_swing_ordering() {
+        let eot = Length::from_nanometers(0.7);
+        let ss_si = DarkSpaceModel::new(ChannelMaterial::silicon()).effective_swing_floor(eot);
+        let ss_inas = DarkSpaceModel::new(ChannelMaterial::inas()).effective_swing_floor(eot);
+        let ss_cnt = DarkSpaceModel::new(ChannelMaterial::cnt()).effective_swing_floor(eot);
+        assert!(ss_cnt < ss_si && ss_si < ss_inas);
+        assert!(ss_si > 59.0);
+    }
+
+    #[test]
+    fn material_accessors() {
+        let m = ChannelMaterial::ingaas();
+        assert_eq!(m.name(), "InGaAs");
+        assert!(m.eps_r() > 13.0);
+        assert!(m.dos_2d() > 0.0);
+    }
+}

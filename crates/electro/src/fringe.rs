@@ -1,0 +1,194 @@
+//! Parasitic fringe-capacitance estimates for scaled FET layouts.
+//!
+//! Section III.A/III.B of the paper argues that bulky raised source/drain
+//! contacts — needed in silicon to keep access resistance down — pay for
+//! themselves in gate-to-contact fringe capacitance, while a CNT-FET with
+//! small metallic contacts offset from the gate avoids it. This module
+//! provides the parallel-plate + fringing closure used to quantify that
+//! trade in the Fig. 3 experiment.
+
+use carbon_units::consts::EPS_0;
+use carbon_units::{Capacitance, Length};
+
+/// Fringe/overlap capacitance model between a gate edge and a
+/// source/drain contact facing it across a spacer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FringeModel {
+    gate_height: Length,
+    contact_height: Length,
+    spacer_thickness: Length,
+    spacer_eps_r: f64,
+}
+
+/// Error constructing a [`FringeModel`] with non-physical dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidFringeError(String);
+
+impl std::fmt::Display for InvalidFringeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid fringe geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidFringeError {}
+
+impl FringeModel {
+    /// Builds a model from gate/contact facing heights, spacer thickness
+    /// and spacer permittivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFringeError`] for non-positive dimensions or
+    /// permittivity below 1.
+    pub fn new(
+        gate_height: Length,
+        contact_height: Length,
+        spacer_thickness: Length,
+        spacer_eps_r: f64,
+    ) -> Result<Self, InvalidFringeError> {
+        for (name, v) in [
+            ("gate height", gate_height),
+            ("contact height", contact_height),
+            ("spacer thickness", spacer_thickness),
+        ] {
+            if v.meters() <= 0.0 {
+                return Err(InvalidFringeError(format!("{name} must be positive")));
+            }
+        }
+        if spacer_eps_r < 1.0 {
+            return Err(InvalidFringeError(format!(
+                "spacer permittivity {spacer_eps_r} must be ≥ 1"
+            )));
+        }
+        Ok(Self {
+            gate_height,
+            contact_height,
+            spacer_thickness,
+            spacer_eps_r,
+        })
+    }
+
+    /// Capacitance per unit device width (F/m) between gate sidewall and
+    /// contact: parallel-plate over the facing height plus a 2/π·ln(1+h/t)
+    /// outer-fringe term (standard conformal-mapping closure).
+    pub fn per_width(&self) -> f64 {
+        let facing = self.gate_height.meters().min(self.contact_height.meters());
+        let t = self.spacer_thickness.meters();
+        let plate = self.spacer_eps_r * EPS_0 * facing / t;
+        let taller = self.gate_height.meters().max(self.contact_height.meters());
+        let fringe = self.spacer_eps_r * EPS_0 * 2.0 / std::f64::consts::PI
+            * (1.0 + (taller - facing) / t).ln();
+        plate + fringe
+    }
+
+    /// Total fringe capacitance for a device of the given width (both
+    /// source and drain edges).
+    pub fn total(&self, width: Length) -> Capacitance {
+        Capacitance::from_farads(2.0 * self.per_width() * width.meters())
+    }
+
+    /// Relative reduction in per-width fringe capacitance from lowering
+    /// the contact height to `new_height` (the paper's "offset contacts"
+    /// benefit), as a fraction in `[0, 1)`.
+    pub fn reduction_from_contact_lowering(&self, new_height: Length) -> f64 {
+        let lowered = Self {
+            contact_height: new_height,
+            ..self.clone()
+        };
+        1.0 - lowered.per_width() / self.per_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bulky() -> FringeModel {
+        // Raised S/D silicon contact: 30 nm facing a 30 nm gate across a
+        // 6 nm nitride spacer.
+        FringeModel::new(
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(6.0),
+            7.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bulky_contact_dominates_lean_contact() {
+        let lean = FringeModel::new(
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(5.0),
+            Length::from_nanometers(6.0),
+            7.0,
+        )
+        .unwrap();
+        assert!(bulky().per_width() > 2.5 * lean.per_width());
+    }
+
+    #[test]
+    fn magnitude_is_sub_ff_per_micron_scale() {
+        // Typical parasitic ~0.1–1 fF/µm per edge.
+        let c = bulky().per_width(); // F/m
+        let ff_per_um = c * 1e15 * 1e-6;
+        assert!((0.05..2.0).contains(&ff_per_um), "{ff_per_um} fF/µm");
+    }
+
+    #[test]
+    fn total_counts_both_edges() {
+        let m = bulky();
+        let w = Length::from_micrometers(1.0);
+        let t = m.total(w).farads();
+        assert!((t - 2.0 * m.per_width() * 1e-6).abs() < 1e-21);
+    }
+
+    #[test]
+    fn lowering_contacts_reduces_capacitance() {
+        let r = bulky().reduction_from_contact_lowering(Length::from_nanometers(5.0));
+        assert!(r > 0.5 && r < 1.0, "reduction {r}");
+    }
+
+    #[test]
+    fn thicker_spacer_reduces_capacitance() {
+        let thin = bulky();
+        let thick = FringeModel::new(
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(12.0),
+            7.0,
+        )
+        .unwrap();
+        assert!(thick.per_width() < thin.per_width());
+    }
+
+    #[test]
+    fn low_k_spacer_reduces_capacitance() {
+        let lowk = FringeModel::new(
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(6.0),
+            3.9,
+        )
+        .unwrap();
+        assert!(lowk.per_width() < bulky().per_width());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(FringeModel::new(
+            Length::from_nanometers(0.0),
+            Length::from_nanometers(5.0),
+            Length::from_nanometers(6.0),
+            7.0
+        )
+        .is_err());
+        assert!(FringeModel::new(
+            Length::from_nanometers(30.0),
+            Length::from_nanometers(5.0),
+            Length::from_nanometers(6.0),
+            0.2
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Short-channel MOS electrostatics.
+//!
+//! The paper's Sections I and III argue two electrostatic points:
+//!
+//! 1. **Scale-length / geometry** — the tighter the gate wraps the
+//!    channel, the shorter the characteristic length λ over which the
+//!    drain potential intrudes, and hence the better the subthreshold
+//!    swing (SS) and drain-induced barrier lowering (DIBL) at a given gate
+//!    length. The gate-all-around (GAA) CNT-FET of Fig. 3 is the limit of
+//!    that progression. Implemented in [`scale_length`].
+//! 2. **Dark space (Skotnicki & Boeuf)** — high-mobility, low-DOS
+//!    channels (III-V) push the inversion charge centroid away from the
+//!    oxide interface and add a quantum-capacitance deficit, inflating the
+//!    *effective* gate dielectric thickness in inversion no matter how
+//!    high the gate k-value is. A CNT conducts in a single atomic layer
+//!    and has essentially no dark space (paper §III.C). Implemented in
+//!    [`darkspace`].
+//!
+//! Both closures feed the compact FET models in `carbon-devices` and the
+//! Fig. 3/Fig. 5 experiments in `carbon-core`.
+
+#![deny(missing_docs)]
+
+pub mod darkspace;
+pub mod fringe;
+pub mod scale_length;
+
+pub use darkspace::{ChannelMaterial, DarkSpaceModel};
+pub use fringe::FringeModel;
+pub use scale_length::{GateGeometry, Mosfet2dModel};

@@ -1,0 +1,343 @@
+//! Scale-length theory: subthreshold swing and DIBL versus gate length
+//! for planar, double-gate, and gate-all-around geometries.
+//!
+//! The potential barrier under a MOS gate relaxes toward the drain over a
+//! characteristic *scale length* λ set by geometry and dielectrics
+//! (Yan–Lee–Taur). Short-channel degradation closes over `exp(−L/2λ)`:
+//!
+//! ```text
+//! SS(L)   = SS₀ / (1 − 2·e^(−L/2λ))      [mV/dec]
+//! DIBL(L) = η₀ · e^(−L/2λ)·ΔV_DS          [mV/V]
+//! ```
+//!
+//! A gate that wraps the channel more tightly shrinks λ: for the same
+//! body and oxide thickness, λ(GAA) < λ(double-gate) < λ(planar), which is
+//! the quantitative content of the paper's Fig. 3 argument for the
+//! gate-all-around CNT-FET.
+
+use carbon_units::consts::SS_THERMAL_LIMIT_MV_PER_DEC;
+use carbon_units::Length;
+
+/// Gate geometry, ordered from weakest to strongest channel control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateGeometry {
+    /// Single gate above a bulk/SOI channel.
+    Planar,
+    /// Gates above and below the body (fin-like control).
+    DoubleGate,
+    /// Gate wrapped fully around the body — the Fig. 3 CNT-FET structure.
+    GateAllAround,
+}
+
+impl GateGeometry {
+    /// Geometry factor dividing the planar scale length: 1 (planar),
+    /// 2 (double gate), 4 (GAA nanowire, Yan-style closure).
+    fn control_factor(self) -> f64 {
+        match self {
+            Self::Planar => 1.0,
+            Self::DoubleGate => 2.0,
+            Self::GateAllAround => 4.0,
+        }
+    }
+}
+
+/// Error constructing a [`Mosfet2dModel`] from non-physical dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidGeometryError(String);
+
+impl std::fmt::Display for InvalidGeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid electrostatic geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidGeometryError {}
+
+/// Analytic short-channel electrostatics for one gate stack.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_electro::{GateGeometry, Mosfet2dModel};
+/// use carbon_units::Length;
+///
+/// let gaa = Mosfet2dModel::new(
+///     GateGeometry::GateAllAround,
+///     Length::from_nanometers(1.2), // body (CNT diameter)
+///     Length::from_nanometers(3.0), // oxide
+///     11.7,                         // body permittivity
+///     16.0,                         // high-k oxide
+/// )?;
+/// let ss = gaa.subthreshold_swing(Length::from_nanometers(9.0));
+/// assert!(ss < 100.0, "9 nm GAA stays a transistor: SS = {ss} mV/dec");
+/// # Ok::<(), carbon_electro::scale_length::InvalidGeometryError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet2dModel {
+    geometry: GateGeometry,
+    body_thickness: Length,
+    oxide_thickness: Length,
+    eps_body: f64,
+    eps_oxide: f64,
+}
+
+impl Mosfet2dModel {
+    /// Builds a model from body/oxide thickness and permittivities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGeometryError`] for non-positive thicknesses or
+    /// permittivities below 1.
+    pub fn new(
+        geometry: GateGeometry,
+        body_thickness: Length,
+        oxide_thickness: Length,
+        eps_body: f64,
+        eps_oxide: f64,
+    ) -> Result<Self, InvalidGeometryError> {
+        if body_thickness.meters() <= 0.0 {
+            return Err(InvalidGeometryError(format!(
+                "body thickness {} m must be positive",
+                body_thickness.meters()
+            )));
+        }
+        if oxide_thickness.meters() <= 0.0 {
+            return Err(InvalidGeometryError(format!(
+                "oxide thickness {} m must be positive",
+                oxide_thickness.meters()
+            )));
+        }
+        if eps_body < 1.0 || eps_oxide < 1.0 {
+            return Err(InvalidGeometryError(format!(
+                "relative permittivities must be ≥ 1 (body {eps_body}, oxide {eps_oxide})"
+            )));
+        }
+        Ok(Self {
+            geometry,
+            body_thickness,
+            oxide_thickness,
+            eps_body,
+            eps_oxide,
+        })
+    }
+
+    /// The natural (scale) length λ of this stack.
+    ///
+    /// Planar closure (Yan–Lee–Taur):
+    /// `λ = √(ε_body/ε_ox · t_body · t_ox)`; divided by the geometry
+    /// control factor for double-gate (÷2) and GAA (÷4).
+    pub fn scale_length(&self) -> Length {
+        let lambda_planar = (self.eps_body / self.eps_oxide
+            * self.body_thickness.meters()
+            * self.oxide_thickness.meters())
+        .sqrt();
+        Length::from_meters(lambda_planar / self.geometry.control_factor())
+    }
+
+    /// Subthreshold swing at gate length `l`, mV/decade.
+    ///
+    /// Returns infinity once the gate has lost the channel
+    /// (`L ≤ 2λ·ln 2`, where the closure's denominator crosses zero) —
+    /// the device no longer turns off.
+    pub fn subthreshold_swing(&self, l: Length) -> f64 {
+        let lambda = self.scale_length().meters();
+        let denom = 1.0 - 2.0 * (-l.meters() / (2.0 * lambda)).exp();
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            SS_THERMAL_LIMIT_MV_PER_DEC / denom
+        }
+    }
+
+    /// Drain-induced barrier lowering at gate length `l`, mV/V.
+    ///
+    /// `DIBL = η₀·e^(−L/2λ)` with η₀ = 800 mV/V, a standard calibration
+    /// that puts a well-tempered device (L ≈ 6λ) near 40 mV/V.
+    pub fn dibl(&self, l: Length) -> f64 {
+        let lambda = self.scale_length().meters();
+        800.0 * (-l.meters() / (2.0 * lambda)).exp()
+    }
+
+    /// The shortest gate length at which SS stays below `ss_limit`
+    /// mV/dec — the scaling limit of this stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ss_limit` is at or below the thermal limit (no finite
+    /// gate length achieves it).
+    pub fn minimum_gate_length(&self, ss_limit: f64) -> Length {
+        assert!(
+            ss_limit > SS_THERMAL_LIMIT_MV_PER_DEC,
+            "SS limit {ss_limit} mV/dec is at or below the thermal limit"
+        );
+        // Invert SS(L) = SS0 / (1 − 2e^{−L/2λ}).
+        let lambda = self.scale_length().meters();
+        let x = (1.0 - SS_THERMAL_LIMIT_MV_PER_DEC / ss_limit) / 2.0;
+        Length::from_meters(-2.0 * lambda * x.ln())
+    }
+
+    /// The gate geometry of this stack.
+    pub fn geometry(&self) -> GateGeometry {
+        self.geometry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(g: GateGeometry) -> Mosfet2dModel {
+        Mosfet2dModel::new(
+            g,
+            Length::from_nanometers(5.0),
+            Length::from_nanometers(1.0),
+            11.7,
+            3.9,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn geometry_ordering_of_scale_length() {
+        let p = stack(GateGeometry::Planar).scale_length();
+        let d = stack(GateGeometry::DoubleGate).scale_length();
+        let g = stack(GateGeometry::GateAllAround).scale_length();
+        assert!(g < d && d < p);
+        assert!((p.meters() / g.meters() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planar_scale_length_magnitude() {
+        // √(11.7/3.9 · 5 nm · 1 nm) = √(3·5) ≈ 3.87 nm.
+        let p = stack(GateGeometry::Planar).scale_length();
+        assert!((p.nanometers() - 3.873).abs() < 0.01);
+    }
+
+    #[test]
+    fn long_channel_ss_approaches_thermal_limit() {
+        let m = stack(GateGeometry::Planar);
+        let ss = m.subthreshold_swing(Length::from_nanometers(1000.0));
+        assert!((ss - SS_THERMAL_LIMIT_MV_PER_DEC).abs() < 0.01);
+    }
+
+    #[test]
+    fn ss_degrades_then_diverges_at_short_length() {
+        let m = stack(GateGeometry::Planar);
+        let ss20 = m.subthreshold_swing(Length::from_nanometers(20.0));
+        let ss10 = m.subthreshold_swing(Length::from_nanometers(10.0));
+        assert!(ss20 > SS_THERMAL_LIMIT_MV_PER_DEC);
+        assert!(ss10 > ss20);
+        let ss_dead = m.subthreshold_swing(Length::from_nanometers(2.0));
+        assert!(ss_dead.is_infinite(), "gate lost the channel");
+    }
+
+    #[test]
+    fn gaa_scales_further_than_planar() {
+        let p = stack(GateGeometry::Planar).minimum_gate_length(80.0);
+        let g = stack(GateGeometry::GateAllAround).minimum_gate_length(80.0);
+        assert!(g < p);
+        assert!((p.meters() / g.meters() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nine_nm_cnt_gaa_device_is_well_behaved() {
+        // Fig. 3 argument + §III.C: a GAA stack on a ~1 nm tube keeps a
+        // useful swing at the 9 nm gate length of the record device [6].
+        let m = Mosfet2dModel::new(
+            GateGeometry::GateAllAround,
+            Length::from_nanometers(1.2),
+            Length::from_nanometers(3.0),
+            11.7,
+            16.0,
+        )
+        .unwrap();
+        let ss = m.subthreshold_swing(Length::from_nanometers(9.0));
+        assert!(ss < 100.0, "SS = {ss} mV/dec");
+        assert!(m.dibl(Length::from_nanometers(9.0)) < 200.0);
+    }
+
+    #[test]
+    fn dibl_decays_exponentially() {
+        let m = stack(GateGeometry::DoubleGate);
+        let d1 = m.dibl(Length::from_nanometers(10.0));
+        let d2 = m.dibl(Length::from_nanometers(20.0));
+        let d3 = m.dibl(Length::from_nanometers(30.0));
+        assert!((d1 / d2 - d2 / d3).abs() / (d1 / d2) < 1e-9, "log-linear decay");
+        assert!(d1 > d2 && d2 > d3);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert!(Mosfet2dModel::new(
+            GateGeometry::Planar,
+            Length::from_nanometers(0.0),
+            Length::from_nanometers(1.0),
+            11.7,
+            3.9
+        )
+        .is_err());
+        assert!(Mosfet2dModel::new(
+            GateGeometry::Planar,
+            Length::from_nanometers(5.0),
+            Length::from_nanometers(1.0),
+            0.5,
+            3.9
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "thermal limit")]
+    fn minimum_gate_length_rejects_sub_thermal_target() {
+        let _ = stack(GateGeometry::Planar).minimum_gate_length(50.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ss_is_monotone_decreasing_in_gate_length(
+            tb in 1.0_f64..10.0,
+            tox in 0.5_f64..3.0,
+            l1 in 5.0_f64..100.0,
+            dl in 1.0_f64..50.0,
+        ) {
+            let m = Mosfet2dModel::new(
+                GateGeometry::DoubleGate,
+                Length::from_nanometers(tb),
+                Length::from_nanometers(tox),
+                11.7,
+                3.9,
+            ).unwrap();
+            let s1 = m.subthreshold_swing(Length::from_nanometers(l1));
+            let s2 = m.subthreshold_swing(Length::from_nanometers(l1 + dl));
+            prop_assert!(s2 <= s1 || (s1.is_infinite() && !s2.is_infinite()) || s1.is_infinite());
+            prop_assert!(s2 >= carbon_units::consts::SS_THERMAL_LIMIT_MV_PER_DEC - 1e-9);
+        }
+
+        #[test]
+        fn tighter_gate_never_hurts(
+            tb in 1.0_f64..10.0,
+            tox in 0.5_f64..3.0,
+            l in 5.0_f64..100.0,
+        ) {
+            let mk = |g| Mosfet2dModel::new(
+                g,
+                Length::from_nanometers(tb),
+                Length::from_nanometers(tox),
+                11.7,
+                3.9,
+            ).unwrap();
+            let lg = Length::from_nanometers(l);
+            let ss_p = mk(GateGeometry::Planar).subthreshold_swing(lg);
+            let ss_d = mk(GateGeometry::DoubleGate).subthreshold_swing(lg);
+            let ss_g = mk(GateGeometry::GateAllAround).subthreshold_swing(lg);
+            prop_assert!(ss_g <= ss_d);
+            prop_assert!(ss_d <= ss_p);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Single-chirality separation.
+//!
+//! Beyond semiconducting/metallic sorting, §V mentions "large-scale
+//! single-chirality separation of single-wall carbon nanotubes by gel
+//! chromatography, density gradient or DNA methods". This module models
+//! a chirality-selective pass: tubes are retained with a probability
+//! that decays with their diameter distance from the target chirality
+//! (the physical handle all three methods ultimately exploit), plus a
+//! non-selective leakage floor.
+
+use carbon_band::chirality::Chirality;
+use rand::Rng;
+
+/// A single-chirality separation stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChiralitySeparation {
+    target: Chirality,
+    /// Diameter selectivity window (nm): retention halves roughly every
+    /// window of diameter mismatch.
+    window_nm: f64,
+    /// Retention probability floor for arbitrarily wrong tubes.
+    leakage: f64,
+}
+
+/// Error building a [`ChiralitySeparation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildSeparationError(String);
+
+impl std::fmt::Display for BuildSeparationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid chirality separation: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildSeparationError {}
+
+impl ChiralitySeparation {
+    /// Creates a stage targeting one chirality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSeparationError`] unless `window_nm > 0` and
+    /// `0 ≤ leakage < 1`.
+    pub fn new(
+        target: Chirality,
+        window_nm: f64,
+        leakage: f64,
+    ) -> Result<Self, BuildSeparationError> {
+        if !(window_nm.is_finite() && window_nm > 0.0) {
+            return Err(BuildSeparationError(format!(
+                "selectivity window must be positive, got {window_nm} nm"
+            )));
+        }
+        if !(0.0..1.0).contains(&leakage) {
+            return Err(BuildSeparationError(format!(
+                "leakage must be in [0, 1), got {leakage}"
+            )));
+        }
+        Ok(Self {
+            target,
+            window_nm,
+            leakage,
+        })
+    }
+
+    /// A DNA-wrapping-grade stage: tight 0.02 nm window, 0.5 % leakage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction validation (never fails for the preset
+    /// constants).
+    pub fn dna_grade(target: Chirality) -> Result<Self, BuildSeparationError> {
+        Self::new(target, 0.02, 0.005)
+    }
+
+    /// The targeted chirality.
+    pub fn target(&self) -> Chirality {
+        self.target
+    }
+
+    /// Retention probability of a tube of the given chirality.
+    pub fn retention(&self, c: Chirality) -> f64 {
+        if c == self.target {
+            return 1.0;
+        }
+        let dd = (c.diameter().nanometers() - self.target.diameter().nanometers()).abs();
+        let gauss = (-(dd / self.window_nm).powi(2)).exp();
+        self.leakage + (1.0 - self.leakage) * gauss * 0.5
+    }
+
+    /// Applies one pass to a batch, returning the retained tubes.
+    pub fn pass<R: Rng + ?Sized>(&self, rng: &mut R, batch: &[Chirality]) -> Vec<Chirality> {
+        batch
+            .iter()
+            .copied()
+            .filter(|&c| rng.gen::<f64>() < self.retention(c))
+            .collect()
+    }
+
+    /// Fraction of a batch that is the target chirality.
+    pub fn purity(&self, batch: &[Chirality]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch.iter().filter(|&&c| c == self.target).count() as f64 / batch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::SynthesisRecipe;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn target() -> Chirality {
+        Chirality::new(13, 0).expect("valid index")
+    }
+
+    #[test]
+    fn retention_is_peaked_at_target() {
+        let sep = ChiralitySeparation::dna_grade(target()).unwrap();
+        assert_eq!(sep.retention(target()), 1.0);
+        let near = Chirality::new(12, 1).unwrap(); // very close diameter
+        let far = Chirality::new(20, 5).unwrap();
+        assert!(sep.retention(near) < 1.0);
+        assert!(sep.retention(far) < sep.retention(near));
+        assert!(sep.retention(far) >= 0.005, "leakage floor");
+    }
+
+    #[test]
+    fn repeated_passes_enrich_toward_single_chirality() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Narrow recipe centred on the target diameter.
+        let recipe = SynthesisRecipe::new(
+            target().diameter(),
+            carbon_units::Length::from_nanometers(0.1),
+        )
+        .unwrap();
+        let sep = ChiralitySeparation::dna_grade(target()).unwrap();
+        let mut batch = recipe.sample_batch(&mut rng, 20_000);
+        let mut purities = vec![sep.purity(&batch)];
+        for _ in 0..4 {
+            batch = sep.pass(&mut rng, &batch);
+            purities.push(sep.purity(&batch));
+        }
+        assert!(
+            purities.windows(2).all(|w| w[1] >= w[0] * 0.98),
+            "monotone enrichment: {purities:?}"
+        );
+        assert!(
+            purities.last().unwrap() > &(purities[0] * 3.0),
+            "strong enrichment: {purities:?}"
+        );
+        assert!(!batch.is_empty(), "material survives");
+    }
+
+    #[test]
+    fn yield_falls_as_purity_rises() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let recipe = SynthesisRecipe::arc_discharge();
+        let sep = ChiralitySeparation::dna_grade(target()).unwrap();
+        let batch = recipe.sample_batch(&mut rng, 10_000);
+        let kept = sep.pass(&mut rng, &batch);
+        assert!(kept.len() < batch.len() / 2, "selection discards material");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ChiralitySeparation::new(target(), 0.0, 0.01).is_err());
+        assert!(ChiralitySeparation::new(target(), 0.02, 1.0).is_err());
+        assert!(ChiralitySeparation::new(target(), 0.02, -0.1).is_err());
+    }
+
+    #[test]
+    fn empty_batch_purity_is_zero() {
+        let sep = ChiralitySeparation::dna_grade(target()).unwrap();
+        assert_eq!(sep.purity(&[]), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Solution-phase sorting of semiconducting tubes.
+//!
+//! §V: "the other approach refines the CNT usually with the help of
+//! liquid suspension and tries to do large-scale single-chirality
+//! separation of single-wall carbon nanotubes by gel chromatography,
+//! density gradient or DNA methods."
+//!
+//! Each pass is modelled as Bayesian enrichment with a selectivity `s`
+//! (probability a semiconducting tube is kept relative to a metallic
+//! one) and a per-pass material yield:
+//!
+//! ```text
+//! p' = s·p / (s·p + (1 − s)·(1 − p))
+//! ```
+//!
+//! Iterating shows the §V tension quantitatively: purities beyond
+//! "five nines" — what a VLSI-scale circuit needs — cost several passes
+//! and exponential material loss.
+
+/// A purification process characterized by per-pass selectivity and
+/// material yield.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SortingProcess {
+    name: &'static str,
+    selectivity: f64,
+    pass_yield: f64,
+}
+
+/// Error building a [`SortingProcess`] from non-physical parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildSortingError(String);
+
+impl std::fmt::Display for BuildSortingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid sorting process: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildSortingError {}
+
+/// Result of a multi-pass purification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PurificationRun {
+    /// Semiconducting purity after each pass (index 0 = input purity).
+    pub purity: Vec<f64>,
+    /// Cumulative material yield after each pass (index 0 = 1.0).
+    pub cumulative_yield: Vec<f64>,
+}
+
+impl SortingProcess {
+    /// Creates a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildSortingError`] unless `0.5 < selectivity < 1` and
+    /// `0 < pass_yield ≤ 1`.
+    pub fn new(
+        name: &'static str,
+        selectivity: f64,
+        pass_yield: f64,
+    ) -> Result<Self, BuildSortingError> {
+        if !(selectivity > 0.5 && selectivity < 1.0) {
+            return Err(BuildSortingError(format!(
+                "selectivity must be in (0.5, 1), got {selectivity}"
+            )));
+        }
+        if !(pass_yield > 0.0 && pass_yield <= 1.0) {
+            return Err(BuildSortingError(format!(
+                "pass yield must be in (0, 1], got {pass_yield}"
+            )));
+        }
+        Ok(Self {
+            name,
+            selectivity,
+            pass_yield,
+        })
+    }
+
+    /// Gel chromatography: high selectivity, decent yield.
+    pub fn gel_chromatography() -> Self {
+        Self::new("gel chromatography", 0.995, 0.70).expect("preset is valid")
+    }
+
+    /// Density-gradient ultracentrifugation.
+    pub fn density_gradient() -> Self {
+        Self::new("density gradient", 0.98, 0.50).expect("preset is valid")
+    }
+
+    /// DNA-wrapping separation: highest selectivity, lowest yield.
+    pub fn dna_wrapping() -> Self {
+        Self::new("DNA wrapping", 0.9995, 0.25).expect("preset is valid")
+    }
+
+    /// Process name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One enrichment pass on purity `p` (fraction semiconducting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn enrich(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "purity must be a fraction, got {p}");
+        let s = self.selectivity;
+        s * p / (s * p + (1.0 - s) * (1.0 - p))
+    }
+
+    /// Runs `passes` passes from `p0`, tracking purity and material
+    /// yield.
+    pub fn run(&self, p0: f64, passes: usize) -> PurificationRun {
+        let mut purity = vec![p0];
+        let mut cumulative_yield = vec![1.0];
+        for _ in 0..passes {
+            purity.push(self.enrich(*purity.last().expect("non-empty")));
+            cumulative_yield.push(cumulative_yield.last().expect("non-empty") * self.pass_yield);
+        }
+        PurificationRun {
+            purity,
+            cumulative_yield,
+        }
+    }
+
+    /// Number of passes needed to reach `target` purity from `p0`, with
+    /// the cumulative yield paid for it. Returns `None` if 100 passes do
+    /// not suffice.
+    pub fn passes_to_reach(&self, p0: f64, target: f64) -> Option<(usize, f64)> {
+        let mut p = p0;
+        let mut y = 1.0;
+        for k in 0..100 {
+            if p >= target {
+                return Some((k, y));
+            }
+            p = self.enrich(p);
+            y *= self.pass_yield;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enrichment_is_monotone_and_bounded() {
+        let g = SortingProcess::gel_chromatography();
+        let p1 = g.enrich(0.67);
+        assert!(p1 > 0.67 && p1 < 1.0);
+        let p2 = g.enrich(p1);
+        assert!(p2 > p1 && p2 < 1.0);
+    }
+
+    #[test]
+    fn fixed_points_of_enrichment() {
+        let g = SortingProcess::gel_chromatography();
+        assert_eq!(g.enrich(0.0), 0.0, "no semiconducting tubes → none appear");
+        assert_eq!(g.enrich(1.0), 1.0);
+    }
+
+    #[test]
+    fn as_grown_to_five_nines() {
+        // From the 2/3 as-grown fraction to 99.999 %.
+        let g = SortingProcess::gel_chromatography();
+        let (passes, y) = g.passes_to_reach(0.67, 0.99999).unwrap();
+        assert!(
+            (2..=5).contains(&passes),
+            "gel chromatography: {passes} passes"
+        );
+        assert!(y < 0.6, "material cost is real: yield {y}");
+        // DNA gets there faster but pays more material.
+        let d = SortingProcess::dna_wrapping();
+        let (p_dna, y_dna) = d.passes_to_reach(0.67, 0.99999).unwrap();
+        assert!(p_dna <= passes);
+        assert!(y_dna < y, "DNA yield {y_dna} < gel yield {y}");
+    }
+
+    #[test]
+    fn weak_process_needs_more_passes() {
+        let weak = SortingProcess::new("weak", 0.8, 0.9).unwrap();
+        let strong = SortingProcess::gel_chromatography();
+        let (pw, _) = weak.passes_to_reach(0.67, 0.9999).unwrap();
+        let (ps, _) = strong.passes_to_reach(0.67, 0.9999).unwrap();
+        assert!(pw > ps, "weak {pw} vs strong {ps}");
+    }
+
+    #[test]
+    fn run_tracks_yield_exponentially() {
+        let g = SortingProcess::density_gradient();
+        let run = g.run(0.67, 4);
+        assert_eq!(run.purity.len(), 5);
+        assert_eq!(run.cumulative_yield.len(), 5);
+        assert!((run.cumulative_yield[4] - 0.5f64.powi(4)).abs() < 1e-12);
+        assert!(run.purity.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        // Selectivity 0.6 stalls near its fixed point long before
+        // 12 nines.
+        let weak = SortingProcess::new("weak", 0.501, 0.99).unwrap();
+        assert!(weak.passes_to_reach(0.01, 1.0 - 1e-12).is_none());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SortingProcess::new("x", 0.5, 0.9).is_err());
+        assert!(SortingProcess::new("x", 1.0, 0.9).is_err());
+        assert!(SortingProcess::new("x", 0.9, 0.0).is_err());
+        assert!(SortingProcess::new("x", 0.9, 1.1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "purity must be a fraction")]
+    fn enrich_rejects_bad_purity() {
+        let _ = SortingProcess::gel_chromatography().enrich(1.5);
+    }
+}

@@ -1,0 +1,99 @@
+//! Small statistics helpers shared by the fabrication models.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator); 0 for fewer than two
+/// samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation on the sorted
+/// data.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let f = rank - lo as f64;
+        sorted[lo] * (1.0 - f) + sorted[hi] * f
+    }
+}
+
+/// Histogram with `bins` equal-width bins over `[lo, hi]`; returns bin
+/// centres and counts. Out-of-range samples clamp to the edge bins.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(bins > 0, "need at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let width = (hi - lo) / bins as f64;
+    let centres = (0..bins).map(|k| lo + (k as f64 + 0.5) * width).collect();
+    let mut counts = vec![0usize; bins];
+    for &x in xs {
+        let k = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[k] += 1;
+    }
+    (centres, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138).abs() < 1e-3);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let xs = [0.1, 0.1, 0.5, 0.9, -3.0, 7.0];
+        let (centres, counts) = histogram(&xs, 0.0, 1.0, 2);
+        assert_eq!(centres, vec![0.25, 0.75]);
+        // 0.5 lands exactly on the bin edge and goes to the upper bin.
+        assert_eq!(counts, vec![3, 3]);
+        assert_eq!(counts.iter().sum::<usize>(), xs.len());
+    }
+}

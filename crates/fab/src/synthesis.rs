@@ -1,0 +1,191 @@
+//! Chirality ensembles produced by CNT synthesis.
+//!
+//! "CNTs can come in different flavors and can be semiconducting,
+//! metallic, semi-metallic and it is currently unproven whether pure
+//! batches of one sort could be achieved" (§V). A CVD recipe controls
+//! the *diameter* distribution reasonably well, but the chiral angle —
+//! and with it the `(n − m) mod 3` metallicity lottery — is essentially
+//! random: about one third of as-grown tubes are metallic.
+
+use carbon_band::chirality::Chirality;
+use carbon_units::Length;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A growth recipe characterized by its diameter distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisRecipe {
+    d_mean: Length,
+    d_sigma: Length,
+}
+
+/// Error building a [`SynthesisRecipe`] from non-physical parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildRecipeError(String);
+
+impl std::fmt::Display for BuildRecipeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid synthesis recipe: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildRecipeError {}
+
+impl SynthesisRecipe {
+    /// Creates a recipe with the given mean diameter and spread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRecipeError`] unless `0.5 nm ≤ d_mean ≤ 4 nm` and
+    /// `d_sigma ≥ 0`.
+    pub fn new(d_mean: Length, d_sigma: Length) -> Result<Self, BuildRecipeError> {
+        let dm = d_mean.nanometers();
+        if !(0.5..=4.0).contains(&dm) {
+            return Err(BuildRecipeError(format!(
+                "mean diameter {dm} nm outside the synthesizable 0.5–4 nm window"
+            )));
+        }
+        if d_sigma.nanometers() < 0.0 {
+            return Err(BuildRecipeError("diameter spread must be ≥ 0".into()));
+        }
+        Ok(Self { d_mean, d_sigma })
+    }
+
+    /// A CoMoCAT-like narrow recipe centred on 0.8 nm.
+    pub fn comocat() -> Self {
+        Self::new(Length::from_nanometers(0.8), Length::from_nanometers(0.1))
+            .expect("preset is valid")
+    }
+
+    /// An arc-discharge-like recipe centred on 1.4 nm (the Fig. 1
+    /// bandgap neighbourhood).
+    pub fn arc_discharge() -> Self {
+        Self::new(Length::from_nanometers(1.4), Length::from_nanometers(0.15))
+            .expect("preset is valid")
+    }
+
+    /// Mean diameter of the recipe.
+    pub fn d_mean(&self) -> Length {
+        self.d_mean
+    }
+
+    /// Samples one chirality: a diameter from the recipe's normal
+    /// distribution, then a uniformly random chirality among those
+    /// within half a lattice constant of that diameter.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Chirality {
+        let normal = Normal::new(self.d_mean.nanometers(), self.d_sigma.nanometers().max(1e-6))
+            .expect("validated parameters");
+        for _ in 0..64 {
+            let d = normal.sample(rng).clamp(0.4, 4.5);
+            let lo = Length::from_nanometers((d - 0.08).max(0.3));
+            let hi = Length::from_nanometers(d + 0.08);
+            let candidates = Chirality::in_diameter_range(lo, hi);
+            if !candidates.is_empty() {
+                let k = rng.gen_range(0..candidates.len());
+                return candidates[k];
+            }
+        }
+        // The 0.4–4.5 nm window always contains chiralities; this path
+        // is unreachable but keeps the function total.
+        Chirality::new(13, 0).expect("fallback chirality is valid")
+    }
+
+    /// Samples `n` chiralities.
+    pub fn sample_batch<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Chirality> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Fraction of semiconducting tubes in a batch.
+    pub fn semiconducting_fraction(batch: &[Chirality]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch.iter().filter(|c| c.is_semiconducting()).count() as f64 / batch.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recipe_validation() {
+        assert!(SynthesisRecipe::new(
+            Length::from_nanometers(0.2),
+            Length::from_nanometers(0.1)
+        )
+        .is_err());
+        assert!(SynthesisRecipe::new(
+            Length::from_nanometers(1.0),
+            Length::from_nanometers(-0.1)
+        )
+        .is_err());
+        assert!(SynthesisRecipe::new(
+            Length::from_nanometers(1.0),
+            Length::from_nanometers(0.0)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn sampled_diameters_track_the_recipe() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let recipe = SynthesisRecipe::arc_discharge();
+        let batch = recipe.sample_batch(&mut rng, 2000);
+        let mean_d = batch
+            .iter()
+            .map(|c| c.diameter().nanometers())
+            .sum::<f64>()
+            / batch.len() as f64;
+        assert!((mean_d - 1.4).abs() < 0.1, "mean d = {mean_d} nm");
+    }
+
+    #[test]
+    fn one_third_of_as_grown_tubes_are_metallic() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let recipe = SynthesisRecipe::arc_discharge();
+        let batch = recipe.sample_batch(&mut rng, 4000);
+        let frac = SynthesisRecipe::semiconducting_fraction(&batch);
+        assert!(
+            (0.60..0.73).contains(&frac),
+            "semiconducting fraction {frac} (expected ≈ 2/3)"
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let recipe = SynthesisRecipe::comocat();
+        let a = recipe.sample_batch(&mut StdRng::seed_from_u64(1), 50);
+        let b = recipe.sample_batch(&mut StdRng::seed_from_u64(1), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn narrow_recipe_gives_narrow_bandgap_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let narrow = SynthesisRecipe::new(
+            Length::from_nanometers(1.4),
+            Length::from_nanometers(0.05),
+        )
+        .unwrap();
+        let wide = SynthesisRecipe::new(
+            Length::from_nanometers(1.4),
+            Length::from_nanometers(0.4),
+        )
+        .unwrap();
+        let spread = |r: &SynthesisRecipe, rng: &mut StdRng| {
+            let gaps: Vec<f64> = r
+                .sample_batch(rng, 1500)
+                .into_iter()
+                .filter(|c| c.is_semiconducting())
+                .map(|c| c.bandgap().electron_volts())
+                .collect();
+            crate::stats::std_dev(&gaps)
+        };
+        let s_narrow = spread(&narrow, &mut rng);
+        let s_wide = spread(&wide, &mut rng);
+        assert!(s_narrow < s_wide, "narrow {s_narrow} vs wide {s_wide}");
+    }
+}

@@ -1,0 +1,213 @@
+//! VMR — electrical removal of metallic CNTs.
+//!
+//! The Shulaker computer (paper §V, \[20\]) was "imperfection-immune"
+//! partly because metallic tubes were *burned off electrically*: with
+//! all gates turned off, a high source-drain bias drives current only
+//! through the metallic tubes, which self-heat and break down, while
+//! semiconducting tubes (turned off) survive. This module models that
+//! step as a per-tube stochastic process and quantifies how much device
+//! yield it buys back from imperfect ink purity.
+
+use rand::Rng;
+
+use crate::placement::SelfAssembly;
+
+/// Parameters of a VMR (metallic-removal) step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmrProcess {
+    /// Probability a metallic tube is destroyed by the breakdown pulse.
+    removal_efficiency: f64,
+    /// Probability a semiconducting tube is collaterally destroyed.
+    collateral_damage: f64,
+}
+
+/// Error building a [`VmrProcess`] from invalid probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildVmrError(String);
+
+impl std::fmt::Display for BuildVmrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid VMR process: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildVmrError {}
+
+/// Before/after statistics of a VMR run over an array of device sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmrOutcome {
+    /// Fraction of sites that were metallic-shorted before VMR.
+    pub shorts_before: f64,
+    /// Fraction still shorted after VMR.
+    pub shorts_after: f64,
+    /// Fraction of functional devices before VMR.
+    pub functional_before: f64,
+    /// Fraction functional after VMR (shorts recovered, minus
+    /// collateral losses).
+    pub functional_after: f64,
+}
+
+impl VmrProcess {
+    /// Creates a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildVmrError`] unless both probabilities are in
+    /// `[0, 1]`.
+    pub fn new(removal_efficiency: f64, collateral_damage: f64) -> Result<Self, BuildVmrError> {
+        for (name, p) in [
+            ("removal efficiency", removal_efficiency),
+            ("collateral damage", collateral_damage),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BuildVmrError(format!("{name} must be a probability, got {p}")));
+            }
+        }
+        Ok(Self {
+            removal_efficiency,
+            collateral_damage,
+        })
+    }
+
+    /// The Shulaker-class process: 99.99 % metallic removal with ~5 %
+    /// collateral semiconductor loss.
+    pub fn shulaker() -> Self {
+        Self::new(0.9999, 0.05).expect("preset is valid")
+    }
+
+    /// Simulates an array of `n` sites: tubes are placed by `assembly`,
+    /// each independently metallic with probability `1 − purity`; then
+    /// the VMR pulse is applied to every shorted device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `purity` is outside `[0, 1]` or `n` is zero.
+    pub fn simulate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        assembly: &SelfAssembly,
+        purity: f64,
+        n: usize,
+    ) -> VmrOutcome {
+        assert!((0.0..=1.0).contains(&purity), "purity must be a fraction");
+        assert!(n > 0, "need at least one site");
+        let mut shorts_before = 0usize;
+        let mut shorts_after = 0usize;
+        let mut functional_before = 0usize;
+        let mut functional_after = 0usize;
+        for _ in 0..n {
+            let tubes = assembly.sample_site(rng);
+            if tubes == 0 {
+                continue;
+            }
+            let metallic: Vec<bool> = (0..tubes).map(|_| rng.gen::<f64>() > purity).collect();
+            let m_before = metallic.iter().filter(|&&m| m).count();
+            let s_before = tubes - m_before;
+            if m_before > 0 {
+                // Only shorted devices receive the breakdown pulse.
+                shorts_before += 1;
+                let m_after = (0..m_before)
+                    .filter(|_| rng.gen::<f64>() > self.removal_efficiency)
+                    .count();
+                let s_after = (0..s_before)
+                    .filter(|_| rng.gen::<f64>() > self.collateral_damage)
+                    .count();
+                if m_after > 0 {
+                    shorts_after += 1;
+                } else if s_after > 0 {
+                    functional_after += 1;
+                }
+            } else {
+                functional_before += 1;
+            }
+        }
+        // Un-pulsed functional devices stay functional.
+        functional_after += functional_before;
+        let n = n as f64;
+        VmrOutcome {
+            shorts_before: shorts_before as f64 / n,
+            shorts_after: shorts_after as f64 / n,
+            functional_before: functional_before as f64 / n,
+            functional_after: functional_after as f64 / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn outcome(purity: f64, seed: u64) -> VmrOutcome {
+        VmrProcess::shulaker().simulate(
+            &mut StdRng::seed_from_u64(seed),
+            &SelfAssembly::park_high_density(),
+            purity,
+            20_000,
+        )
+    }
+
+    #[test]
+    fn vmr_recovers_yield_from_dirty_ink() {
+        // 99 % ink: ~2.3 % of occupied sites shorted; VMR recovers most.
+        let o = outcome(0.99, 1);
+        assert!(o.shorts_before > 0.01, "shorts before {}", o.shorts_before);
+        assert!(
+            o.shorts_after < o.shorts_before / 50.0,
+            "shorts after {}",
+            o.shorts_after
+        );
+        assert!(o.functional_after > o.functional_before);
+    }
+
+    #[test]
+    fn vmr_even_rescues_as_grown_material() {
+        // The Shulaker point: with VMR, even 2/3-pure as-grown tubes can
+        // build working (if slower) circuits.
+        let o = outcome(0.67, 2);
+        assert!(o.shorts_before > 0.4, "most sites shorted: {}", o.shorts_before);
+        assert!(o.shorts_after < 0.01, "after VMR: {}", o.shorts_after);
+        assert!(
+            o.functional_after > 0.55,
+            "functional after {}",
+            o.functional_after
+        );
+    }
+
+    #[test]
+    fn collateral_damage_costs_devices() {
+        let gentle = VmrProcess::new(0.9999, 0.0).unwrap();
+        let harsh = VmrProcess::new(0.9999, 0.5).unwrap();
+        let asm = SelfAssembly::park_high_density();
+        let g = gentle.simulate(&mut StdRng::seed_from_u64(3), &asm, 0.8, 20_000);
+        let h = harsh.simulate(&mut StdRng::seed_from_u64(3), &asm, 0.8, 20_000);
+        assert!(g.functional_after > h.functional_after);
+    }
+
+    #[test]
+    fn perfect_ink_is_untouched() {
+        let o = outcome(1.0, 4);
+        assert_eq!(o.shorts_before, 0.0);
+        assert_eq!(o.shorts_after, 0.0);
+        assert!((o.functional_after - o.functional_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_efficiency_changes_nothing_for_shorts() {
+        let off = VmrProcess::new(0.0, 0.0).unwrap();
+        let o = off.simulate(
+            &mut StdRng::seed_from_u64(5),
+            &SelfAssembly::park_high_density(),
+            0.9,
+            20_000,
+        );
+        assert!((o.shorts_after - o.shorts_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VmrProcess::new(1.5, 0.0).is_err());
+        assert!(VmrProcess::new(0.9, -0.1).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! From device statistics to circuit yield.
+//!
+//! The Shulaker CNT computer (§V, \[20\]) worked because its design was
+//! *imperfection-immune*: metallic tubes were removed electrically and
+//! the logic was arranged so that remaining defects could be tolerated.
+//! This module provides the arithmetic that turns a per-device yield
+//! into gate and circuit yields, with and without redundancy — the
+//! numbers that decide whether "several simple one-bit computers on one
+//! wafer with high yield" is possible.
+
+/// Circuit-level yield calculator over a per-device functional
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitYield {
+    device_yield: f64,
+}
+
+/// Error building a [`CircuitYield`] from an invalid probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildYieldError(f64);
+
+impl std::fmt::Display for BuildYieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "device yield must be a probability, got {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildYieldError {}
+
+impl CircuitYield {
+    /// Creates a calculator from a per-device functional probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildYieldError`] if `device_yield` is outside `[0, 1]`.
+    pub fn new(device_yield: f64) -> Result<Self, BuildYieldError> {
+        if !(0.0..=1.0).contains(&device_yield) {
+            return Err(BuildYieldError(device_yield));
+        }
+        Ok(Self { device_yield })
+    }
+
+    /// Per-device yield.
+    pub fn device_yield(&self) -> f64 {
+        self.device_yield
+    }
+
+    /// Yield of a block requiring all `n` devices functional: `y^n`.
+    pub fn all_of(&self, n: u32) -> f64 {
+        self.device_yield.powi(n as i32)
+    }
+
+    /// Yield of a block with `m`-way redundancy: the block works if any
+    /// of `m` identical copies works.
+    pub fn redundant(&self, n_per_copy: u32, m: u32) -> f64 {
+        let p_copy = self.all_of(n_per_copy);
+        1.0 - (1.0 - p_copy).powi(m as i32)
+    }
+
+    /// Expected number of working circuits among `count` instances each
+    /// needing `n` devices.
+    pub fn expected_working(&self, n: u32, count: u32) -> f64 {
+        self.all_of(n) * count as f64
+    }
+
+    /// The number of devices in the Shulaker one-bit CNT computer.
+    pub const SHULAKER_COMPUTER_CNFETS: u32 = 178;
+
+    /// Device yield required for a circuit of `n` devices to reach a
+    /// target circuit yield: `y = Y^(1/n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target` is in `(0, 1]` and `n > 0`.
+    pub fn required_device_yield(n: u32, target: f64) -> f64 {
+        assert!(n > 0, "circuit must contain devices");
+        assert!(target > 0.0 && target <= 1.0, "target must be in (0, 1]");
+        target.powf(1.0 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_of_composes_multiplicatively() {
+        let y = CircuitYield::new(0.99).unwrap();
+        assert!((y.all_of(2) - 0.9801).abs() < 1e-12);
+        assert!((y.all_of(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shulaker_computer_needs_serious_device_yield() {
+        // 178 CNFETs at 99 % device yield → ~17 % circuit yield; at
+        // 99.9 % → ~84 %. The paper's point: integration statistics make
+        // or break the computer.
+        let poor = CircuitYield::new(0.99).unwrap();
+        let good = CircuitYield::new(0.999).unwrap();
+        let n = CircuitYield::SHULAKER_COMPUTER_CNFETS;
+        assert!((poor.all_of(n) - 0.167).abs() < 0.01, "{}", poor.all_of(n));
+        assert!((good.all_of(n) - 0.837).abs() < 0.01, "{}", good.all_of(n));
+    }
+
+    #[test]
+    fn required_yield_inverts_all_of() {
+        let n = CircuitYield::SHULAKER_COMPUTER_CNFETS;
+        let need = CircuitYield::required_device_yield(n, 0.5);
+        let y = CircuitYield::new(need).unwrap();
+        assert!((y.all_of(n) - 0.5).abs() < 1e-9);
+        assert!(need > 0.996, "sub-half-percent device loss budget: {need}");
+    }
+
+    #[test]
+    fn redundancy_recovers_yield() {
+        let y = CircuitYield::new(0.98).unwrap();
+        let single = y.all_of(50);
+        let tmr = y.redundant(50, 3);
+        assert!(tmr > single);
+        // 0.98^50 ≈ 0.364 alone; three copies lift it to ≈ 0.74.
+        assert!(tmr > 0.7, "3-way redundancy on a 50-device block: {tmr}");
+    }
+
+    #[test]
+    fn wafer_scale_expectation() {
+        // "Several simple one-bit computers on one wafer with high
+        // yield": 1000 instances at 99.9 % device yield.
+        let y = CircuitYield::new(0.999).unwrap();
+        let working = y.expected_working(CircuitYield::SHULAKER_COMPUTER_CNFETS, 1000);
+        assert!(working > 800.0, "expected working computers: {working}");
+    }
+
+    #[test]
+    fn validation_and_edges() {
+        assert!(CircuitYield::new(-0.1).is_err());
+        assert!(CircuitYield::new(1.1).is_err());
+        assert_eq!(CircuitYield::new(1.0).unwrap().all_of(1000), 1.0);
+        assert_eq!(CircuitYield::new(0.0).unwrap().all_of(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be in")]
+    fn required_yield_rejects_zero_target() {
+        let _ = CircuitYield::required_device_yield(10, 0.0);
+    }
+}

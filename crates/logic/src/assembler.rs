@@ -1,0 +1,254 @@
+//! A tiny assembler for SUBNEG programs.
+//!
+//! The Shulaker computer was programmed by hand-placing instruction
+//! words; this module gives the [`SubnegComputer`](crate::SubnegComputer)
+//! a textual format so programs read like programs:
+//!
+//! ```text
+//! ; count `counter` down past zero
+//! .data one     1
+//! .data counter 7
+//! .data zero    0
+//! .data always  -1
+//!
+//! loop: one  counter done    ; counter -= 1; if negative goto done
+//!       zero always  loop    ; unconditional jump (always stays < 0)
+//! done:
+//! ```
+//!
+//! * `.data <name> <value>` declares one memory cell (in order);
+//! * an instruction line is `a b jump` — three operands, each a data
+//!   name (for `a`/`b`) or an instruction label (for `jump`);
+//! * `name:` prefixes label an instruction (or, on a line of its own,
+//!   the address after the last instruction — the halt idiom);
+//! * `;` starts a comment.
+
+use std::collections::HashMap;
+
+use crate::computer::Instruction;
+
+/// Error from assembling a SUBNEG source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// An assembled program: instructions, initial memory, and the name
+/// table for reading results back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The instruction stream.
+    pub instructions: Vec<Instruction>,
+    /// Initial memory image.
+    pub memory: Vec<i64>,
+    data_names: HashMap<String, usize>,
+}
+
+impl Program {
+    /// The memory address of a `.data` cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the unknown cell.
+    pub fn address_of(&self, name: &str) -> Result<usize, AssembleError> {
+        self.data_names
+            .get(name)
+            .copied()
+            .ok_or_else(|| AssembleError {
+                line: 0,
+                reason: format!("unknown data cell '{name}'"),
+            })
+    }
+}
+
+/// Assembles SUBNEG source text.
+///
+/// # Errors
+///
+/// Returns [`AssembleError`] with the offending line for syntax errors,
+/// duplicate or undefined names, and malformed values.
+pub fn assemble(source: &str) -> Result<Program, AssembleError> {
+    struct RawInstr {
+        line: usize,
+        a: String,
+        b: String,
+        jump: String,
+    }
+    let mut data_names: HashMap<String, usize> = HashMap::new();
+    let mut memory = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut raw = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |reason: String| AssembleError { line: line_no, reason };
+        if let Some(rest) = line.strip_prefix(".data") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 2 {
+                return Err(err(".data needs: name value".into()));
+            }
+            let name = parts[0].to_owned();
+            if data_names.contains_key(&name) {
+                return Err(err(format!("duplicate data cell '{name}'")));
+            }
+            let value: i64 = parts[1]
+                .parse()
+                .map_err(|_| err(format!("bad integer '{}'", parts[1])))?;
+            data_names.insert(name, memory.len());
+            memory.push(value);
+            continue;
+        }
+        // Optional leading label.
+        let mut body = line;
+        if let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(format!("bad label '{label}'")));
+            }
+            if labels.contains_key(label) {
+                return Err(err(format!("duplicate label '{label}'")));
+            }
+            labels.insert(label.to_owned(), raw.len());
+            body = rest[1..].trim();
+        }
+        if body.is_empty() {
+            continue; // bare label line
+        }
+        let ops: Vec<&str> = body.split_whitespace().collect();
+        if ops.len() != 3 {
+            return Err(err(format!(
+                "instruction needs 3 operands (a b jump), got {}",
+                ops.len()
+            )));
+        }
+        raw.push(RawInstr {
+            line: line_no,
+            a: ops[0].to_owned(),
+            b: ops[1].to_owned(),
+            jump: ops[2].to_owned(),
+        });
+    }
+
+    let mut instructions = Vec::with_capacity(raw.len());
+    for r in &raw {
+        let err = |reason: String| AssembleError { line: r.line, reason };
+        let resolve_data = |name: &str| {
+            data_names
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(format!("undefined data cell '{name}'")))
+        };
+        let jump = labels
+            .get(&r.jump)
+            .copied()
+            .ok_or_else(|| err(format!("undefined label '{}'", r.jump)))?;
+        instructions.push(Instruction {
+            a: resolve_data(&r.a)?,
+            b: resolve_data(&r.b)?,
+            jump,
+        });
+    }
+    if instructions.is_empty() {
+        return Err(AssembleError {
+            line: 0,
+            reason: "program has no instructions".into(),
+        });
+    }
+    Ok(Program {
+        instructions,
+        memory,
+        data_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::computer::{Halt, SubnegComputer};
+    use carbon_units::Time;
+
+    const COUNTING: &str = "
+        ; count down past zero
+        .data one     1
+        .data counter 7
+        .data zero    0
+        .data always  -1
+
+        loop: one  counter done
+              zero always  loop
+        done:
+    ";
+
+    #[test]
+    fn assembles_and_runs_counting() {
+        let prog = assemble(COUNTING).unwrap();
+        assert_eq!(prog.instructions.len(), 2);
+        assert_eq!(prog.memory, vec![1, 7, 0, -1]);
+        let counter = prog.address_of("counter").unwrap();
+        let mut cpu = SubnegComputer::new(
+            prog.instructions,
+            prog.memory,
+            8,
+            Time::from_picoseconds(20.0),
+        )
+        .unwrap();
+        let (halt, stats) = cpu.run(1000).unwrap();
+        assert_eq!(halt, Halt::ProgramEnd);
+        assert_eq!(cpu.memory()[counter], -1);
+        assert_eq!(stats.instructions, 2 * 7 + 1);
+    }
+
+    #[test]
+    fn trailing_label_is_the_halt_address() {
+        let prog = assemble(COUNTING).unwrap();
+        // "done" resolves past the last instruction.
+        assert_eq!(prog.instructions[0].jump, 2);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble(".data x").unwrap_err();
+        assert!(e.reason.contains("name value"), "{e}");
+        let e = assemble(".data x 1\n.data x 2").unwrap_err();
+        assert!(e.reason.contains("duplicate data"), "{e}");
+        let e = assemble(".data x 1\nx x nowhere").unwrap_err();
+        assert!(e.reason.contains("undefined label"), "{e}");
+        let e = assemble(".data x 1\nstop: y x stop").unwrap_err();
+        assert!(e.reason.contains("undefined data cell 'y'"), "{e}");
+        let e = assemble(".data x 1\nl: x x").unwrap_err();
+        assert!(e.reason.contains("3 operands"), "{e}");
+        let e = assemble(".data x 1").unwrap_err();
+        assert!(e.reason.contains("no instructions"), "{e}");
+        let e = assemble("lab el: x x x").unwrap_err();
+        assert!(e.reason.contains("bad label"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble("; header\n\n.data a 1\n.data b 2 ; trailing\nl: a b l\n").unwrap();
+        assert_eq!(prog.instructions.len(), 1);
+    }
+
+    #[test]
+    fn address_lookup() {
+        let prog = assemble(COUNTING).unwrap();
+        assert_eq!(prog.address_of("one").unwrap(), 0);
+        assert!(prog.address_of("ghost").is_err());
+    }
+}

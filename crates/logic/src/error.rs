@@ -1,0 +1,67 @@
+//! Error type for circuit-level logic analysis.
+
+use carbon_spice::SpiceError;
+
+/// Errors from building or analyzing logic circuits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicError {
+    /// The underlying circuit simulation failed.
+    Simulation(SpiceError),
+    /// A requested figure of merit does not exist for this circuit
+    /// (e.g. unity-gain points of a sub-unity-gain inverter).
+    MissingFeature {
+        /// What was requested.
+        feature: &'static str,
+        /// Why it is absent.
+        reason: String,
+    },
+    /// Invalid construction parameter.
+    InvalidParameter {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for LogicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Simulation(e) => write!(f, "circuit simulation failed: {e}"),
+            Self::MissingFeature { feature, reason } => {
+                write!(f, "{feature} not present: {reason}")
+            }
+            Self::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for LogicError {
+    fn from(e: SpiceError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = LogicError::from(SpiceError::UnknownNode { name: "x".into() });
+        assert!(e.to_string().contains("simulation failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = LogicError::MissingFeature {
+            feature: "noise margin",
+            reason: "gain below unity".into(),
+        };
+        assert!(m.to_string().contains("noise margin"));
+    }
+}

@@ -1,0 +1,44 @@
+//! CNT logic: from inverter voltage-transfer curves to a one-bit
+//! computer.
+//!
+//! This crate builds the paper's circuit-level arguments on top of
+//! `carbon-devices` and `carbon-spice`:
+//!
+//! * [`inverter`] — the Fig. 2 experiment: a complementary inverter made
+//!   of any [`Fet`](carbon_devices::Fet) pair, its voltage-transfer
+//!   curve, gain, and noise margins. With saturating devices the VTC is
+//!   near-ideal; with the non-saturating "real GNR" devices the gain
+//!   never reaches one and the noise margin collapses — the paper's
+//!   knock-out argument against GNR logic.
+//! * [`ring`] — ring oscillators for delay extraction.
+//! * [`rf`] — small-signal figures of merit (`A_v`, `f_T`, `f_max`):
+//!   the §II argument that without saturation there is no voltage gain
+//!   and hence no usable `f_max`.
+//! * [`digital`] — a gate-level event-driven simulator with delays
+//!   calibrated from the analog stage delay.
+//! * [`computer`] — a SUBNEG (subtract-and-branch-if-negative) one-bit-
+//!   datapath computer in the spirit of the Shulaker CNT computer
+//!   (paper §V, \[20\]), executing real programs over the gate-level
+//!   substrate.
+
+#![deny(missing_docs)]
+
+pub mod assembler;
+pub mod computer;
+pub mod digital;
+pub mod error;
+pub mod gates;
+pub mod inverter;
+pub mod rf;
+pub mod ring;
+pub mod synthesis;
+
+pub use assembler::{assemble, Program};
+pub use computer::SubnegComputer;
+pub use digital::GateNetwork;
+pub use error::LogicError;
+pub use gates::{GateTopology, StaticGate};
+pub use inverter::{Inverter, NoiseMargins, Vtc};
+pub use rf::{RfFigures, RfStage};
+pub use ring::RingOscillator;
+pub use synthesis::Synthesizer;

@@ -1,0 +1,347 @@
+//! AC small-signal analysis: linearize at the DC operating point and
+//! solve the complex MNA system `(G + jωC)·x = b` per frequency.
+//!
+//! This is the analysis behind the paper's §II RF argument (via
+//! Schwierz): a FET without current saturation has a large output
+//! conductance, hence no voltage gain, hence a negligible maximum
+//! oscillation frequency — "this only enables very low values of
+//! f_max".
+
+use crate::complex::{Complex, ComplexMatrix};
+use crate::element::{diode_iv, ElementKind};
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, NodeId};
+
+/// Result of an AC sweep: node-voltage phasors per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    node_names: Vec<String>,
+    /// One phasor vector (nodes then branches) per frequency.
+    solutions: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The swept frequencies, Hz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// The phasor of a node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for unknown names.
+    pub fn phasors(&self, node: &str) -> Result<Vec<Complex>, SpiceError> {
+        let lower = node.to_ascii_lowercase();
+        if lower == "0" || lower == "gnd" {
+            return Ok(vec![Complex::ZERO; self.freqs.len()]);
+        }
+        let idx = self
+            .node_names
+            .iter()
+            .position(|n| *n == lower)
+            .ok_or(SpiceError::UnknownNode { name: node.to_owned() })?;
+        Ok(self.solutions.iter().map(|s| s[idx]).collect())
+    }
+
+    /// Voltage magnitude of a node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for unknown names.
+    pub fn magnitude(&self, node: &str) -> Result<Vec<f64>, SpiceError> {
+        Ok(self.phasors(node)?.into_iter().map(Complex::abs).collect())
+    }
+
+    /// Phase (radians) of a node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for unknown names.
+    pub fn phase(&self, node: &str) -> Result<Vec<f64>, SpiceError> {
+        Ok(self.phasors(node)?.into_iter().map(Complex::arg).collect())
+    }
+
+    /// The −3 dB frequency of a node's response relative to its
+    /// lowest-frequency magnitude, if the response crosses it.
+    pub fn corner_frequency(&self, node: &str) -> Result<Option<f64>, SpiceError> {
+        let mag = self.magnitude(node)?;
+        let Some(&m0) = mag.first() else { return Ok(None) };
+        let target = m0 / 2.0_f64.sqrt();
+        for k in 1..mag.len() {
+            if (mag[k - 1] >= target) != (mag[k] >= target) {
+                // Log-interpolate the crossing.
+                let (f0, f1) = (self.freqs[k - 1], self.freqs[k]);
+                let (g0, g1) = (mag[k - 1], mag[k]);
+                if g0 == g1 {
+                    return Ok(Some(f0));
+                }
+                let t = (target - g0) / (g1 - g0);
+                return Ok(Some(f0 * (f1 / f0).powf(t)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl Circuit {
+    /// AC sweep: the named voltage or current source becomes the unit
+    /// AC stimulus; all other independent sources are AC-quiet (but set
+    /// the DC operating point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownSource`] if `source` does not name a
+    /// source, [`SpiceError::InvalidSweep`] for an empty or non-positive
+    /// frequency list, and solver errors from the operating point or any
+    /// frequency point.
+    pub fn ac_sweep(&self, source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
+        if freqs.is_empty() || freqs.iter().any(|&f| !(f.is_finite() && f > 0.0)) {
+            return Err(SpiceError::InvalidSweep {
+                reason: "frequency list must be non-empty and positive".to_owned(),
+            });
+        }
+        let source = source.to_ascii_lowercase();
+        let has_source = self.elements.iter().any(|e| {
+            e.name == source
+                && matches!(
+                    e.kind,
+                    ElementKind::VoltageSource { .. } | ElementKind::CurrentSource { .. }
+                )
+        });
+        if !has_source {
+            return Err(SpiceError::UnknownSource { name: source.to_owned() });
+        }
+        let op = self.op()?;
+        let op_v = |id: NodeId| -> f64 {
+            match id.unknown_index() {
+                Some(i) => op_voltage_by_index(&op, i),
+                None => 0.0,
+            }
+        };
+        let n_nodes = self.num_nodes();
+        let n_unknowns = self.num_unknowns();
+        let mut solutions = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut a = ComplexMatrix::zeros(n_unknowns);
+            let mut b = vec![Complex::ZERO; n_unknowns];
+            for e in &self.elements {
+                stamp_ac(e, self, &source, omega, &op_v, &mut a, &mut b);
+            }
+            for i in 0..n_nodes {
+                a.add(i, i, Complex::new(1e-12, 0.0));
+            }
+            a.solve_in_place(&mut b)?;
+            solutions.push(b);
+        }
+        let node_names = (1..=n_nodes)
+            .map(|i| self.node_name(NodeId(i)).to_owned())
+            .collect();
+        Ok(AcResult {
+            freqs: freqs.to_vec(),
+            node_names,
+            solutions,
+        })
+    }
+}
+
+/// Reads the op-point voltage of unknown `i` (node index, 0-based).
+fn op_voltage_by_index(op: &super::OpResult, i: usize) -> f64 {
+    op.node_voltage_by_index(i)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stamp_ac<F: Fn(NodeId) -> f64>(
+    e: &crate::element::Element,
+    circuit: &Circuit,
+    stimulus: &str,
+    omega: f64,
+    op_v: &F,
+    a: &mut ComplexMatrix,
+    b: &mut [Complex],
+) {
+    let n_nodes = circuit.num_nodes();
+    let stamp_y = |a: &mut ComplexMatrix, p: NodeId, n: NodeId, y: Complex| {
+        if let Some(i) = p.unknown_index() {
+            a.add(i, i, y);
+            if let Some(j) = n.unknown_index() {
+                a.add(i, j, -y);
+                a.add(j, i, -y);
+            }
+        }
+        if let Some(j) = n.unknown_index() {
+            a.add(j, j, y);
+        }
+    };
+    match &e.kind {
+        ElementKind::Resistor { p, n, g } => stamp_y(a, *p, *n, Complex::new(*g, 0.0)),
+        ElementKind::Capacitor { p, n, c } => stamp_y(a, *p, *n, Complex::imag(omega * c)),
+        ElementKind::VoltageSource { p, n, branch, .. } => {
+            let bi = n_nodes + branch;
+            if let Some(i) = p.unknown_index() {
+                a.add(i, bi, Complex::ONE);
+                a.add(bi, i, Complex::ONE);
+            }
+            if let Some(j) = n.unknown_index() {
+                a.add(j, bi, -Complex::ONE);
+                a.add(bi, j, -Complex::ONE);
+            }
+            if e.name == stimulus {
+                b[bi] += Complex::ONE;
+            }
+        }
+        ElementKind::Inductor { p, n, branch, l } => {
+            let bi = n_nodes + branch;
+            if let Some(i) = p.unknown_index() {
+                a.add(i, bi, Complex::ONE);
+                a.add(bi, i, Complex::ONE);
+            }
+            if let Some(j) = n.unknown_index() {
+                a.add(j, bi, -Complex::ONE);
+                a.add(bi, j, -Complex::ONE);
+            }
+            a.add(bi, bi, -Complex::imag(omega * l));
+        }
+        ElementKind::CurrentSource { p, n, .. } => {
+            if e.name == stimulus {
+                // Unit AC current from n into p.
+                if let Some(i) = p.unknown_index() {
+                    b[i] += Complex::ONE;
+                }
+                if let Some(j) = n.unknown_index() {
+                    b[j] -= Complex::ONE;
+                }
+            }
+        }
+        ElementKind::Diode { p, n, i_s, n_ideality } => {
+            let v = op_v(*p) - op_v(*n);
+            let (_i, g) = diode_iv(v, *i_s, *n_ideality);
+            stamp_y(a, *p, *n, Complex::new(g, 0.0));
+        }
+        ElementKind::Vccs { p, n, cp, cn, gm } => {
+            let mut add = |row: Option<usize>, col: Option<usize>, v: f64| {
+                if let (Some(r), Some(c)) = (row, col) {
+                    a.add(r, c, Complex::new(v, 0.0));
+                }
+            };
+            let (pi, ni) = (p.unknown_index(), n.unknown_index());
+            let (cpi, cni) = (cp.unknown_index(), cn.unknown_index());
+            add(pi, cpi, -gm);
+            add(pi, cni, *gm);
+            add(ni, cpi, *gm);
+            add(ni, cni, -gm);
+        }
+        ElementKind::Fet { d, g, s, model } => {
+            let vgs = op_v(*g) - op_v(*s);
+            let vds = op_v(*d) - op_v(*s);
+            let (gm, gds) = model.gm_gds(vgs, vds);
+            let gds = gds.max(1e-12);
+            let mut add = |row: Option<usize>, col: Option<usize>, v: f64| {
+                if let (Some(r), Some(c)) = (row, col) {
+                    a.add(r, c, Complex::new(v, 0.0));
+                }
+            };
+            let (di, gi, si) = (d.unknown_index(), g.unknown_index(), s.unknown_index());
+            add(di, gi, gm);
+            add(di, di, gds);
+            add(di, si, -(gm + gds));
+            add(si, gi, -gm);
+            add(si, di, -gds);
+            add(si, si, gm + gds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_lowpass_corner() {
+        // R = 1 kΩ, C = 1 nF: f_c = 1/(2πRC) ≈ 159 kHz.
+        let mut ckt = Circuit::new();
+        ckt.voltage_source("vin", "in", "0", 0.0);
+        ckt.resistor("r", "in", "out", 1e3).unwrap();
+        ckt.capacitor("c", "out", "0", 1e-9).unwrap();
+        let freqs: Vec<f64> = (0..60).map(|k| 1e3 * 10f64.powf(k as f64 / 10.0)).collect();
+        let ac = ckt.ac_sweep("vin", &freqs).unwrap();
+        let mag = ac.magnitude("out").unwrap();
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband gain 1");
+        assert!(*mag.last().unwrap() < 0.01, "stopband rolls off");
+        let fc = ac.corner_frequency("out").unwrap().expect("crosses −3 dB");
+        assert!((fc - 159.2e3).abs() / 159.2e3 < 0.05, "f_c = {fc:.3e}");
+        // Phase approaches −90°.
+        let ph = ac.phase("out").unwrap();
+        assert!(ph.last().unwrap() < &-1.4);
+    }
+
+    #[test]
+    fn ac_gain_of_vccs_amplifier() {
+        // gm = 2 mS into 10 kΩ: |Av| = 20, flat (no caps).
+        let mut ckt = Circuit::new();
+        ckt.voltage_source("vin", "in", "0", 0.0);
+        ckt.vccs("g1", "0", "out", "in", "0", 2e-3).unwrap();
+        ckt.resistor("rl", "out", "0", 10e3).unwrap();
+        let ac = ckt.ac_sweep("vin", &[1e3, 1e6, 1e9]).unwrap();
+        let mag = ac.magnitude("out").unwrap();
+        for m in mag {
+            assert!((m - 20.0).abs() < 0.1, "|Av| = {m}");
+        }
+    }
+
+    #[test]
+    fn fet_common_source_ac_gain_matches_gm_over_gds() {
+        #[derive(Debug)]
+        struct LinearFet;
+        impl crate::element::FetCurve for LinearFet {
+            fn ids(&self, vgs: f64, vds: f64) -> f64 {
+                1e-3 * vgs + 1e-5 * vds
+            }
+        }
+        let mut ckt = Circuit::new();
+        ckt.voltage_source("vdd", "vdd", "0", 1.0);
+        ckt.voltage_source("vin", "g", "0", 0.5);
+        ckt.resistor("rl", "vdd", "d", 1e5).unwrap();
+        ckt.fet("m1", "d", "g", "0", std::sync::Arc::new(LinearFet))
+            .unwrap();
+        let ac = ckt.ac_sweep("vin", &[1e6]).unwrap();
+        let gain = ac.magnitude("d").unwrap()[0];
+        // |Av| = gm·(R_L ∥ 1/gds) = 1e-3·(1e5 ∥ 1e5) = 50.
+        assert!((gain - 50.0).abs() < 1.0, "|Av| = {gain}");
+    }
+
+    #[test]
+    fn stimulus_validation() {
+        let mut ckt = Circuit::new();
+        ckt.voltage_source("vin", "in", "0", 0.0);
+        ckt.resistor("r", "in", "0", 1e3).unwrap();
+        assert!(matches!(
+            ckt.ac_sweep("nope", &[1e3]),
+            Err(SpiceError::UnknownSource { .. })
+        ));
+        assert!(matches!(
+            ckt.ac_sweep("vin", &[]),
+            Err(SpiceError::InvalidSweep { .. })
+        ));
+        assert!(matches!(
+            ckt.ac_sweep("vin", &[-1.0]),
+            Err(SpiceError::InvalidSweep { .. })
+        ));
+        assert!(matches!(
+            ckt.ac_sweep("r", &[1e3]),
+            Err(SpiceError::UnknownSource { .. })
+        ));
+    }
+
+    #[test]
+    fn ground_phasor_is_zero() {
+        let mut ckt = Circuit::new();
+        ckt.voltage_source("vin", "in", "0", 0.0);
+        ckt.resistor("r", "in", "0", 1e3).unwrap();
+        let ac = ckt.ac_sweep("vin", &[1e3]).unwrap();
+        assert_eq!(ac.magnitude("0").unwrap(), vec![0.0]);
+        assert!(ac.magnitude("ghost").is_err());
+    }
+}

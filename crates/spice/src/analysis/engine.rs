@@ -1,0 +1,378 @@
+//! The Newton–Raphson MNA core shared by all analyses.
+
+use crate::element::{diode_iv, ElementKind};
+use crate::error::SpiceError;
+use crate::linalg::DenseMatrix;
+use crate::netlist::{Circuit, NodeId};
+
+/// Newton solver tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NewtonOptions {
+    pub max_iter: usize,
+    /// Absolute voltage tolerance, V.
+    pub abstol_v: f64,
+    /// Relative tolerance on all unknowns.
+    pub reltol: f64,
+    /// Conductance from every node to ground, S.
+    pub gmin: f64,
+    /// Largest node-voltage update applied per iteration, V.
+    pub vstep_limit: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        Self {
+            max_iter: 150,
+            abstol_v: 1e-9,
+            reltol: 1e-6,
+            gmin: 1e-12,
+            vstep_limit: 0.5,
+        }
+    }
+}
+
+/// Companion model of one capacitor for the implicit integrators.
+#[derive(Debug, Clone)]
+pub(crate) struct CapCompanion {
+    #[allow(dead_code)]
+    pub element_index: usize,
+    p: NodeId,
+    n: NodeId,
+    c: f64,
+    /// Voltage across the cap at the previous accepted time point.
+    v_prev: f64,
+    /// Current through the cap at the previous accepted time point.
+    i_prev: f64,
+    /// Equivalent conductance for the current step.
+    geq: f64,
+    /// Constant term of the companion current for the current step:
+    /// `i = geq·v + ieq`.
+    ieq: f64,
+}
+
+impl CapCompanion {
+    /// Builds the companion from the DC initial condition (zero current).
+    pub fn at_rest(element_index: usize, p: NodeId, n: NodeId, c: f64, x: &[f64]) -> Self {
+        let v = node_v(p, x) - node_v(n, x);
+        Self {
+            element_index,
+            p,
+            n,
+            c,
+            v_prev: v,
+            i_prev: 0.0,
+            geq: 0.0,
+            ieq: 0.0,
+        }
+    }
+
+    /// Computes `geq`/`ieq` for a step of size `h`; trapezoidal when
+    /// `trapezoidal` is set, backward Euler otherwise.
+    pub fn prepare(&mut self, h: f64, trapezoidal: bool) {
+        if trapezoidal {
+            self.geq = 2.0 * self.c / h;
+            self.ieq = -(self.geq * self.v_prev + self.i_prev);
+        } else {
+            self.geq = self.c / h;
+            self.ieq = -self.geq * self.v_prev;
+        }
+    }
+
+    /// Accepts the time point: records the new voltage and branch current.
+    pub fn commit(&mut self, x: &[f64]) {
+        let v = node_v(self.p, x) - node_v(self.n, x);
+        self.i_prev = self.geq * v + self.ieq;
+        self.v_prev = v;
+    }
+}
+
+/// Companion model of one inductor for the implicit integrators: the
+/// branch equation becomes `v − R_eq·i = E_eq`.
+#[derive(Debug, Clone)]
+pub(crate) struct IndCompanion {
+    pub element_index: usize,
+    p: NodeId,
+    n: NodeId,
+    branch: usize,
+    l: f64,
+    /// Branch current at the previous accepted time point.
+    i_prev: f64,
+    /// Voltage across the inductor at the previous accepted point.
+    v_prev: f64,
+    /// Equivalent series resistance for the current step.
+    r_eq: f64,
+    /// Equivalent EMF for the current step.
+    e_eq: f64,
+}
+
+impl IndCompanion {
+    /// Builds the companion from the DC initial condition (the DC
+    /// solution's branch current, zero voltage).
+    pub fn at_rest(
+        element_index: usize,
+        p: NodeId,
+        n: NodeId,
+        branch: usize,
+        l: f64,
+        x: &[f64],
+        n_nodes: usize,
+    ) -> Self {
+        Self {
+            element_index,
+            p,
+            n,
+            branch,
+            l,
+            i_prev: x[n_nodes + branch],
+            v_prev: 0.0,
+            r_eq: 0.0,
+            e_eq: 0.0,
+        }
+    }
+
+    /// Computes `r_eq`/`e_eq` for a step of size `h`.
+    pub fn prepare(&mut self, h: f64, trapezoidal: bool) {
+        if trapezoidal {
+            self.r_eq = 2.0 * self.l / h;
+            self.e_eq = -self.v_prev - self.r_eq * self.i_prev;
+        } else {
+            self.r_eq = self.l / h;
+            self.e_eq = -self.r_eq * self.i_prev;
+        }
+    }
+
+    /// Accepts the time point.
+    pub fn commit(&mut self, x: &[f64], n_nodes: usize) {
+        self.i_prev = x[n_nodes + self.branch];
+        self.v_prev = node_v(self.p, x) - node_v(self.n, x);
+    }
+}
+
+#[inline]
+fn node_v(id: NodeId, x: &[f64]) -> f64 {
+    match id.unknown_index() {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Runs Newton iteration on the MNA system at a fixed time point.
+///
+/// * `time = None` → DC (capacitors open);
+/// * `caps = Some(..)` → transient companions (must cover every
+///   capacitor, prepared for the current step);
+/// * `source_scale` multiplies all independent sources (source stepping);
+/// * `gmin` is the node-to-ground leak used on this attempt.
+///
+/// On success `x` holds the converged solution.
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    x: &mut [f64],
+    time: Option<f64>,
+    caps: Option<(&[CapCompanion], &[IndCompanion])>,
+    source_scale: f64,
+    gmin: f64,
+    opts: &NewtonOptions,
+) -> Result<usize, SpiceError> {
+    let n_unknowns = circuit.num_unknowns();
+    debug_assert_eq!(x.len(), n_unknowns);
+    let n_nodes = circuit.num_nodes();
+    let mut a = DenseMatrix::zeros(n_unknowns);
+    let mut z = vec![0.0; n_unknowns];
+
+    for iter in 0..opts.max_iter {
+        a.clear();
+        z.fill(0.0);
+        stamp_all(circuit, x, time, caps, source_scale, &mut a, &mut z);
+        for i in 0..n_nodes {
+            a.add(i, i, gmin);
+        }
+        let mut x_new = z.clone();
+        a.solve_in_place(&mut x_new)?;
+
+        // Largest update; voltage damping applies to node unknowns only.
+        let mut dv_max = 0.0_f64;
+        for i in 0..n_nodes {
+            dv_max = dv_max.max((x_new[i] - x[i]).abs());
+        }
+        let mut converged = true;
+        for i in 0..n_unknowns {
+            let tol = if i < n_nodes {
+                opts.abstol_v + opts.reltol * x_new[i].abs()
+            } else {
+                1e-12 + opts.reltol * x_new[i].abs()
+            };
+            if (x_new[i] - x[i]).abs() > tol {
+                converged = false;
+                break;
+            }
+        }
+        if converged {
+            x.copy_from_slice(&x_new);
+            return Ok(iter + 1);
+        }
+        if dv_max > opts.vstep_limit {
+            let scale = opts.vstep_limit / dv_max;
+            for i in 0..n_unknowns {
+                x[i] += scale * (x_new[i] - x[i]);
+            }
+        } else {
+            x.copy_from_slice(&x_new);
+        }
+    }
+    Err(SpiceError::NonConvergence {
+        analysis: if time.is_some() { "transient point" } else { "dc operating point" },
+        iterations: opts.max_iter,
+        residual: f64::NAN,
+    })
+}
+
+/// Stamps every element into `(a, z)` linearized at the iterate `x`.
+fn stamp_all(
+    circuit: &Circuit,
+    x: &[f64],
+    time: Option<f64>,
+    caps: Option<(&[CapCompanion], &[IndCompanion])>,
+    source_scale: f64,
+    a: &mut DenseMatrix,
+    z: &mut [f64],
+) {
+    let n_nodes = circuit.num_nodes();
+    // Conductance stamp between two nodes.
+    let stamp_g = |a: &mut DenseMatrix, p: NodeId, n: NodeId, g: f64| {
+        if let Some(i) = p.unknown_index() {
+            a.add(i, i, g);
+            if let Some(j) = n.unknown_index() {
+                a.add(i, j, -g);
+                a.add(j, i, -g);
+            }
+        }
+        if let Some(j) = n.unknown_index() {
+            a.add(j, j, g);
+        }
+    };
+    // Current `i_const` flowing from p to n through the element (added to
+    // the RHS with the proper signs).
+    let stamp_i = |z: &mut [f64], p: NodeId, n: NodeId, i_const: f64| {
+        if let Some(i) = p.unknown_index() {
+            z[i] -= i_const;
+        }
+        if let Some(j) = n.unknown_index() {
+            z[j] += i_const;
+        }
+    };
+
+    for (idx, e) in circuit.elements.iter().enumerate() {
+        match &e.kind {
+            ElementKind::Resistor { p, n, g } => stamp_g(a, *p, *n, *g),
+            ElementKind::Capacitor { .. } => {
+                if let Some((caps, _)) = caps {
+                    let cap = caps
+                        .iter()
+                        .find(|c| c.element_index == idx)
+                        .expect("companion exists for every capacitor");
+                    stamp_g(a, cap.p, cap.n, cap.geq);
+                    stamp_i(z, cap.p, cap.n, cap.ieq);
+                }
+                // DC: open circuit — no stamp (gmin keeps nodes anchored).
+            }
+            ElementKind::Inductor { p, n, branch, .. } => {
+                let bi = n_nodes + branch;
+                if let Some(i) = p.unknown_index() {
+                    a.add(i, bi, 1.0);
+                    a.add(bi, i, 1.0);
+                }
+                if let Some(j) = n.unknown_index() {
+                    a.add(j, bi, -1.0);
+                    a.add(bi, j, -1.0);
+                }
+                if let Some((_, inds)) = caps {
+                    let ind = inds
+                        .iter()
+                        .find(|c| c.element_index == idx)
+                        .expect("companion exists for every inductor");
+                    a.add(bi, bi, -ind.r_eq);
+                    z[bi] += ind.e_eq;
+                }
+                // DC: v_p − v_n = 0 (a short), which is the bare stamp.
+            }
+            ElementKind::VoltageSource { p, n, branch, wave } => {
+                let bi = n_nodes + branch;
+                let v = source_scale
+                    * match time {
+                        Some(t) => wave.value_at(t),
+                        None => wave.dc_value(),
+                    };
+                if let Some(i) = p.unknown_index() {
+                    a.add(i, bi, 1.0);
+                    a.add(bi, i, 1.0);
+                }
+                if let Some(j) = n.unknown_index() {
+                    a.add(j, bi, -1.0);
+                    a.add(bi, j, -1.0);
+                }
+                z[bi] += v;
+            }
+            ElementKind::CurrentSource { p, n, wave } => {
+                let i = source_scale
+                    * match time {
+                        Some(t) => wave.value_at(t),
+                        None => wave.dc_value(),
+                    };
+                // Injects from n into p: equivalent to current −i flowing
+                // p → n through the element.
+                stamp_i(z, *p, *n, -i);
+            }
+            ElementKind::Diode { p, n, i_s, n_ideality } => {
+                let v = node_v(*p, x) - node_v(*n, x);
+                let (i_d, g_d) = diode_iv(v, *i_s, *n_ideality);
+                stamp_g(a, *p, *n, g_d);
+                stamp_i(z, *p, *n, i_d - g_d * v);
+            }
+            ElementKind::Vccs { p, n, cp, cn, gm } => {
+                // Current gm·(v(cp) − v(cn)) enters p, leaves n: current
+                // flowing p → n through the element is −gm·vc.
+                let mut add = |row: Option<usize>, col: Option<usize>, v: f64| {
+                    if let (Some(r), Some(c)) = (row, col) {
+                        a.add(r, c, v);
+                    }
+                };
+                let (pi, ni) = (p.unknown_index(), n.unknown_index());
+                let (cpi, cni) = (cp.unknown_index(), cn.unknown_index());
+                add(pi, cpi, -gm);
+                add(pi, cni, *gm);
+                add(ni, cpi, *gm);
+                add(ni, cni, -gm);
+            }
+            ElementKind::Fet { d, g, s, model } => {
+                let vgs = node_v(*g, x) - node_v(*s, x);
+                let vds = node_v(*d, x) - node_v(*s, x);
+                let id = model.ids(vgs, vds);
+                let (gm, gds) = model.gm_gds(vgs, vds);
+                // Guard against pathological derivative signs breaking
+                // the Jacobian: clamp to a tiny positive floor.
+                let gds = gds.max(1e-12);
+                let ieq = id - gm * vgs - gds * vds;
+                let (di, gi, si) = (d.unknown_index(), g.unknown_index(), s.unknown_index());
+                let mut add = |row: Option<usize>, col: Option<usize>, v: f64| {
+                    if let (Some(r), Some(c)) = (row, col) {
+                        a.add(r, c, v);
+                    }
+                };
+                // Current id flows d → s through the channel.
+                add(di, gi, gm);
+                add(di, di, gds);
+                add(di, si, -(gm + gds));
+                add(si, gi, -gm);
+                add(si, di, -gds);
+                add(si, si, gm + gds);
+                if let Some(i) = di {
+                    z[i] -= ieq;
+                }
+                if let Some(i) = si {
+                    z[i] += ieq;
+                }
+            }
+        }
+    }
+}

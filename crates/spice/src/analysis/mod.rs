@@ -1,0 +1,369 @@
+//! Analyses: DC operating point, DC sweep, transient — plus their result
+//! types.
+//!
+//! All three are methods on [`Circuit`]:
+//!
+//! * [`Circuit::op`] — Newton solve of the nonlinear DC system, with gmin
+//!   stepping and source stepping as fallbacks,
+//! * [`Circuit::dc_sweep`] — repeated operating points with continuation
+//!   (each point starts from the previous solution), the analysis behind
+//!   every I-V curve and voltage-transfer curve in the paper,
+//! * [`Circuit::transient`] — fixed-step integration (backward-Euler
+//!   start-up step, trapezoidal thereafter), used for ring oscillators
+//!   and the inverter's dynamic behaviour with its 10 fF load.
+
+pub mod ac;
+mod engine;
+
+use std::collections::HashMap;
+
+use crate::element::ElementKind;
+use crate::error::SpiceError;
+use crate::netlist::Circuit;
+
+pub(crate) use engine::{newton_solve, CapCompanion, IndCompanion, NewtonOptions};
+
+/// Solution of a DC operating point.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    node_names: Vec<String>,
+    branch_names: Vec<String>,
+    x: Vec<f64>,
+}
+
+impl OpResult {
+    /// Node voltage by unknown index (AC linearization helper).
+    pub(crate) fn node_voltage_by_index(&self, i: usize) -> f64 {
+        self.x[i]
+    }
+
+    pub(crate) fn new(circuit: &Circuit, x: Vec<f64>) -> Self {
+        let node_names = (1..=circuit.num_nodes())
+            .map(|i| circuit.node_name(crate::netlist::NodeId(i)).to_owned())
+            .collect();
+        let mut branch_names = vec![String::new(); circuit.num_branches];
+        for e in &circuit.elements {
+            match e.kind {
+                ElementKind::VoltageSource { branch, .. }
+                | ElementKind::Inductor { branch, .. } => {
+                    branch_names[branch] = e.name.clone();
+                }
+                _ => {}
+            }
+        }
+        Self { node_names, branch_names, x }
+    }
+
+    /// Voltage of a named node, V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for unknown names.
+    pub fn voltage(&self, node: &str) -> Result<f64, SpiceError> {
+        let lower = node.to_ascii_lowercase();
+        if lower == "0" || lower == "gnd" {
+            return Ok(0.0);
+        }
+        self.node_names
+            .iter()
+            .position(|n| *n == lower)
+            .map(|i| self.x[i])
+            .ok_or(SpiceError::UnknownNode { name: node.to_owned() })
+    }
+
+    /// Current through a named voltage source, A (positive flowing into
+    /// its `p` terminal and out of `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownSource`] if no voltage source has
+    /// that name.
+    pub fn source_current(&self, source: &str) -> Result<f64, SpiceError> {
+        let source_lower = source.to_ascii_lowercase();
+        self.branch_names
+            .iter()
+            .position(|n| *n == source_lower)
+            .map(|i| self.x[self.node_names.len() + i])
+            .ok_or(SpiceError::UnknownSource { name: source.to_owned() })
+    }
+
+}
+
+/// Result of a DC sweep: the swept values and one solution per point.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    sweep: Vec<f64>,
+    points: Vec<OpResult>,
+}
+
+impl SweepResult {
+    /// The swept source values.
+    pub fn sweep_values(&self) -> &[f64] {
+        &self.sweep
+    }
+
+    /// Voltage trace of a node across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for unknown names.
+    pub fn voltages(&self, node: &str) -> Result<Vec<f64>, SpiceError> {
+        self.points.iter().map(|p| p.voltage(node)).collect()
+    }
+
+    /// Current trace through a voltage source across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownSource`] for unknown names.
+    pub fn currents(&self, source: &str) -> Result<Vec<f64>, SpiceError> {
+        self.points.iter().map(|p| p.source_current(source)).collect()
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.sweep.len()
+    }
+
+    /// `true` if the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.sweep.is_empty()
+    }
+
+    /// The operating point at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> &OpResult {
+        &self.points[i]
+    }
+}
+
+/// Result of a transient analysis: time points and node-voltage traces.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    traces: HashMap<String, Vec<f64>>,
+}
+
+impl TranResult {
+    /// The time grid, s.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage trace of a node over time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownNode`] for unknown names.
+    pub fn voltages(&self, node: &str) -> Result<&[f64], SpiceError> {
+        let lower = node.to_ascii_lowercase();
+        self.traces
+            .get(&lower)
+            .map(|v| v.as_slice())
+            .ok_or(SpiceError::UnknownNode { name: node.to_owned() })
+    }
+}
+
+impl Circuit {
+    /// Solves the DC operating point.
+    ///
+    /// The solver first attempts a plain Newton iteration from zero,
+    /// then gmin stepping, then source stepping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] for ill-posed circuits and
+    /// [`SpiceError::NonConvergence`] when all strategies fail.
+    pub fn op(&self) -> Result<OpResult, SpiceError> {
+        let x = self.op_from(vec![0.0; self.num_unknowns()])?;
+        Ok(OpResult::new(self, x))
+    }
+
+    /// Operating point starting from a given initial guess; used
+    /// internally by sweeps for continuation.
+    fn op_from(&self, mut x: Vec<f64>) -> Result<Vec<f64>, SpiceError> {
+        let opts = NewtonOptions::default();
+        // Strategy 1: plain Newton.
+        if newton_solve(self, &mut x, None, None, 1.0, opts.gmin, &opts).is_ok() {
+            return Ok(x);
+        }
+        // Strategy 2: gmin stepping.
+        let mut xg = vec![0.0; self.num_unknowns()];
+        let mut ok = true;
+        for exp in [-2.0_f64, -4.0, -6.0, -8.0, -10.0, -12.0] {
+            if newton_solve(self, &mut xg, None, None, 1.0, 10f64.powf(exp), &opts).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok && newton_solve(self, &mut xg, None, None, 1.0, opts.gmin, &opts).is_ok() {
+            return Ok(xg);
+        }
+        // Strategy 3: source stepping.
+        let mut xs = vec![0.0; self.num_unknowns()];
+        for k in 1..=20 {
+            let scale = k as f64 / 20.0;
+            newton_solve(self, &mut xs, None, None, scale, opts.gmin, &opts).map_err(|e| {
+                match e {
+                    SpiceError::SingularMatrix { .. } => e,
+                    _ => SpiceError::NonConvergence {
+                        analysis: "dc operating point",
+                        iterations: opts.max_iter,
+                        residual: f64::NAN,
+                    },
+                }
+            })?;
+        }
+        Ok(xs)
+    }
+
+    /// Sweeps the DC value of a named source from `from` to `to`
+    /// (inclusive, step `step > 0`; the sweep may run downward if
+    /// `to < from`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownSource`] for unknown sources,
+    /// [`SpiceError::InvalidSweep`] for non-positive steps, and any
+    /// solver error from the underlying operating points.
+    pub fn dc_sweep(
+        &self,
+        source: &str,
+        from: f64,
+        to: f64,
+        step: f64,
+    ) -> Result<SweepResult, SpiceError> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(SpiceError::InvalidSweep {
+                reason: format!("step must be positive and finite, got {step}"),
+            });
+        }
+        let n = ((to - from).abs() / step).round() as usize + 1;
+        let dir = if to >= from { 1.0 } else { -1.0 };
+        let mut work = self.clone();
+        let mut sweep = Vec::with_capacity(n);
+        let mut points = Vec::with_capacity(n);
+        let mut x = vec![0.0; self.num_unknowns()];
+        for i in 0..n {
+            let v = from + dir * step * i as f64;
+            let v = if dir > 0.0 { v.min(to) } else { v.max(to) };
+            work.set_source_value(source, v)?;
+            x = work.op_from(x)?;
+            sweep.push(v);
+            points.push(OpResult::new(&work, x.clone()));
+        }
+        Ok(SweepResult { sweep, points })
+    }
+
+    /// Fixed-step transient analysis from `t = 0` to `tstop` with step
+    /// `tstep`. The initial condition is the DC operating point with all
+    /// sources at their `t = 0` values.
+    ///
+    /// Integration is backward Euler for the first step and trapezoidal
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidSweep`] for non-positive steps or
+    /// horizons and solver errors from individual time points.
+    pub fn transient(&self, tstep: f64, tstop: f64) -> Result<TranResult, SpiceError> {
+        if !(tstep.is_finite() && tstep > 0.0 && tstop.is_finite() && tstop > 0.0) {
+            return Err(SpiceError::InvalidSweep {
+                reason: format!("transient needs tstep > 0 and tstop > 0, got {tstep}, {tstop}"),
+            });
+        }
+        if tstop < tstep {
+            return Err(SpiceError::InvalidSweep {
+                reason: "tstop must be at least one step".to_owned(),
+            });
+        }
+        let opts = NewtonOptions::default();
+        // DC initial condition with sources evaluated at t = 0.
+        let mut x = vec![0.0; self.num_unknowns()];
+        newton_solve(self, &mut x, Some(0.0), None, 1.0, opts.gmin, &opts).or_else(|_| {
+            // Fall back to the robust op ladder, then refine at t = 0.
+            x = self.op_from(vec![0.0; self.num_unknowns()])?;
+            newton_solve(self, &mut x, Some(0.0), None, 1.0, opts.gmin, &opts)
+        })?;
+
+        // Initialize reactive-element states from the operating point.
+        let n_nodes = self.num_nodes();
+        let mut caps: Vec<CapCompanion> = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, e)| match e.kind {
+                ElementKind::Capacitor { p, n, c } => Some(CapCompanion::at_rest(idx, p, n, c, &x)),
+                _ => None,
+            })
+            .collect();
+        let mut inds: Vec<IndCompanion> = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, e)| match e.kind {
+                ElementKind::Inductor { p, n, branch, l } => {
+                    Some(IndCompanion::at_rest(idx, p, n, branch, l, &x, n_nodes))
+                }
+                _ => None,
+            })
+            .collect();
+
+        let steps = (tstop / tstep).round() as usize;
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut samples: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        samples.push(x.clone());
+
+        for k in 1..=steps {
+            let t = k as f64 * tstep;
+            let trapezoidal = k > 1;
+            for cap in &mut caps {
+                cap.prepare(tstep, trapezoidal);
+            }
+            for ind in &mut inds {
+                ind.prepare(tstep, trapezoidal);
+            }
+            if newton_solve(self, &mut x, Some(t), Some((&caps, &inds)), 1.0, opts.gmin, &opts)
+                .is_err()
+            {
+                // Retry with heavy damping: piecewise-linear device
+                // models (table models) can make full Newton steps
+                // cycle between interpolation cells.
+                let damped = NewtonOptions {
+                    max_iter: 600,
+                    vstep_limit: 0.02,
+                    ..opts
+                };
+                newton_solve(self, &mut x, Some(t), Some((&caps, &inds)), 1.0, opts.gmin, &damped)
+                    .map_err(|e| match e {
+                        SpiceError::SingularMatrix { .. } => e,
+                        _ => SpiceError::NonConvergence {
+                            analysis: "transient",
+                            iterations: damped.max_iter,
+                            residual: t,
+                        },
+                    })?;
+            }
+            for cap in &mut caps {
+                cap.commit(&x);
+            }
+            for ind in &mut inds {
+                ind.commit(&x, n_nodes);
+            }
+            times.push(t);
+            samples.push(x.clone());
+        }
+
+        let mut traces = HashMap::new();
+        for i in 1..=self.num_nodes() {
+            let name = self.node_name(crate::netlist::NodeId(i)).to_owned();
+            let trace = samples.iter().map(|s| s[i - 1]).collect();
+            traces.insert(name, trace);
+        }
+        Ok(TranResult { times, traces })
+    }
+}

@@ -1,0 +1,37 @@
+//! A standalone SPICE-deck runner over the `carbon-spice` engine.
+//!
+//! ```text
+//! cargo run --release -p carbon-spice --bin spice -- deck.cir
+//! cat deck.cir | cargo run --release -p carbon-spice --bin spice
+//! ```
+//!
+//! Supports the element cards documented in
+//! [`carbon_spice::parser`] plus `.op`, `.dc`, `.tran`, `.ac`, `.print`,
+//! and `.end` control cards; results print as tab-separated columns.
+
+use std::io::Read;
+
+use carbon_spice::runner::parse_full_deck;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let text = match args.get(1).map(String::as_str) {
+        Some("-h") | Some("--help") => {
+            eprintln!("usage: spice [deck-file]   (reads stdin without a file)");
+            return Ok(());
+        }
+        Some(path) => std::fs::read_to_string(path)?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    let deck = parse_full_deck(&text)?;
+    if deck.analyses.is_empty() {
+        eprintln!("deck has no analysis cards (.op/.dc/.tran/.ac); nothing to run");
+        return Ok(());
+    }
+    print!("{}", deck.run()?);
+    Ok(())
+}

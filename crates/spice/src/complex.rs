@@ -1,0 +1,299 @@
+//! Minimal complex arithmetic and a complex dense solver for AC
+//! small-signal analysis.
+//!
+//! Kept in-tree (like [`linalg`](crate::linalg)) rather than pulling a
+//! numerics crate: AC analysis needs exactly one operation — solving the
+//! complex MNA system `(G + jωC)·x = b` — and the phasor type below is
+//! sufficient for it.
+//!
+//! Gaussian elimination is written index-based on purpose; the
+//! iterator forms clippy suggests obscure the row/column structure.
+#![allow(clippy::needless_range_loop)]
+
+
+use crate::error::SpiceError;
+
+/// A complex number (phasor) with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A purely imaginary value `j·im`.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Cheap magnitude proxy `|re| + |im|` used for pivoting.
+    #[inline]
+    fn norm1(self) -> f64 {
+        self.re.abs() + self.im.abs()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.re * rhs.re + rhs.im * rhs.im;
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl std::ops::SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Self::new(re, 0.0)
+    }
+}
+
+/// A dense complex matrix with LU solve (partial pivoting, row
+/// equilibration), mirroring [`DenseMatrix`](crate::linalg::DenseMatrix).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates a zeroed `n × n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: Complex) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Solves `A·x = b` in place, overwriting `b` with the solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when the (equilibrated)
+    /// pivot magnitude falls below `1e-13`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_in_place(&mut self, b: &mut [Complex]) -> Result<(), SpiceError> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        if n == 0 {
+            return Ok(());
+        }
+        for r in 0..n {
+            let row_max = self.data[r * n..(r + 1) * n]
+                .iter()
+                .fold(0.0_f64, |m, v| m.max(v.norm1()));
+            if row_max == 0.0 {
+                return Err(SpiceError::SingularMatrix { row: r });
+            }
+            let inv = Complex::new(1.0 / row_max, 0.0);
+            for v in &mut self.data[r * n..(r + 1) * n] {
+                *v = *v * inv;
+            }
+            b[r] = b[r] * inv;
+        }
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_val = self.data[k * n + k].norm1();
+            for r in (k + 1)..n {
+                let v = self.data[r * n + k].norm1();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-13 {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    self.data.swap(k * n + c, pivot_row * n + c);
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = self.data[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.data[r * n + k] / pivot;
+                if factor == Complex::ZERO {
+                    continue;
+                }
+                self.data[r * n + k] = Complex::ZERO;
+                for c in (k + 1)..n {
+                    let sub = factor * self.data[k * n + c];
+                    self.data[r * n + c] -= sub;
+                }
+                let sub = factor * b[k];
+                b[r] -= sub;
+            }
+        }
+        for k in (0..n).rev() {
+            let mut sum = b[k];
+            for c in (k + 1)..n {
+                let sub = self.data[k * n + c] * b[c];
+                sum -= sub;
+            }
+            b[k] = sum / self.data[k * n + k];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back.re - a.re).abs() < 1e-12 && (back.im - a.im).abs() < 1e-12);
+        assert!((Complex::imag(1.0) * Complex::imag(1.0) + Complex::ONE).abs() < 1e-15);
+        assert!((a.abs() - 5.0_f64.sqrt()).abs() < 1e-12);
+        assert!((Complex::imag(1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // (1 + j)x = 2 → x = 1 − j.
+        let mut a = ComplexMatrix::zeros(1);
+        a.add(0, 0, Complex::new(1.0, 1.0));
+        let mut b = vec![Complex::new(2.0, 0.0)];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0].re - 1.0).abs() < 1e-12 && (b[0].im + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_rc_divider_phasor() {
+        // Series R with shunt C at ω = 1/RC: v_out = 1/(1 + j).
+        let (r, c, w) = (1e3, 1e-9, 1e6);
+        let mut a = ComplexMatrix::zeros(1);
+        a.add(0, 0, Complex::new(1.0 / r, w * c));
+        let mut b = vec![Complex::new(1.0 / r, 0.0)];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0].abs() - 1.0 / 2.0_f64.sqrt()).abs() < 1e-9);
+        assert!((b[0].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut a = ComplexMatrix::zeros(2);
+        a.add(0, 0, Complex::ONE);
+        a.add(0, 1, Complex::ONE);
+        a.add(1, 0, Complex::new(2.0, 0.0));
+        a.add(1, 1, Complex::new(2.0, 0.0));
+        let mut b = vec![Complex::ONE, Complex::ONE];
+        assert!(matches!(
+            a.solve_in_place(&mut b),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_on_zero_diagonal() {
+        let mut a = ComplexMatrix::zeros(2);
+        a.add(0, 1, Complex::ONE);
+        a.add(1, 0, Complex::ONE);
+        let mut b = vec![Complex::new(2.0, 0.0), Complex::new(3.0, 0.0)];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0].re - 3.0).abs() < 1e-12);
+        assert!((b[1].re - 2.0).abs() < 1e-12);
+    }
+}

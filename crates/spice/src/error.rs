@@ -1,0 +1,109 @@
+//! Error type shared by netlist construction and the analyses.
+
+/// Errors reported by the circuit simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// An element value was rejected (zero resistance, negative
+    /// capacitance, NaN source value, ...).
+    InvalidValue {
+        /// Element name as given to the netlist builder.
+        element: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Two elements were registered under the same name.
+    DuplicateElement {
+        /// The colliding name.
+        name: String,
+    },
+    /// A requested node does not exist in the circuit.
+    UnknownNode {
+        /// The unknown node name.
+        name: String,
+    },
+    /// A requested element (e.g. the source of a DC sweep) does not exist
+    /// or is not of the expected kind.
+    UnknownSource {
+        /// The unknown source name.
+        name: String,
+    },
+    /// The MNA matrix is singular: the circuit is under-constrained
+    /// (floating node, voltage-source loop, ...).
+    SingularMatrix {
+        /// Row index at which elimination failed — usually maps to the
+        /// offending node.
+        row: usize,
+    },
+    /// Newton iteration failed to converge even with gmin and source
+    /// stepping.
+    NonConvergence {
+        /// Which analysis was running.
+        analysis: &'static str,
+        /// Iterations performed in the last attempt.
+        iterations: usize,
+        /// Largest solution update at abort, V.
+        residual: f64,
+    },
+    /// A sweep or transient was asked for with a non-positive step, or
+    /// bounds in the wrong order.
+    InvalidSweep {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidValue { element, reason } => {
+                write!(f, "invalid value for element '{element}': {reason}")
+            }
+            Self::DuplicateElement { name } => {
+                write!(f, "element '{name}' is already defined")
+            }
+            Self::UnknownNode { name } => write!(f, "unknown node '{name}'"),
+            Self::UnknownSource { name } => write!(f, "unknown source '{name}'"),
+            Self::SingularMatrix { row } => write!(
+                f,
+                "singular MNA matrix at row {row} (floating node or source loop)"
+            ),
+            Self::NonConvergence {
+                analysis,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{analysis} failed to converge after {iterations} iterations (last update {residual:.3e} V)"
+            ),
+            Self::InvalidSweep { reason } => write!(f, "invalid sweep: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpiceError::NonConvergence {
+            analysis: "dc operating point",
+            iterations: 100,
+            residual: 3.2e-2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("dc operating point") && s.contains("100"));
+        assert!(SpiceError::UnknownNode { name: "out".into() }
+            .to_string()
+            .contains("out"));
+        assert!(SpiceError::SingularMatrix { row: 3 }.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<SpiceError>();
+    }
+}

@@ -1,0 +1,271 @@
+//! Dense linear algebra for the MNA system: an `n × n` matrix with LU
+//! factorization and partial pivoting.
+//!
+//! The circuits in this workspace are small (an inverter is 4 unknowns, a
+//! ring oscillator a few dozen), so a dense solver is both simpler and
+//! faster than a sparse one; the `solver` Criterion bench tracks its
+//! scaling so the trade-off stays visible.
+//!
+//! Gaussian elimination is written index-based on purpose; the
+//! iterator forms clippy suggests obscure the row/column structure.
+#![allow(clippy::needless_range_loop)]
+
+
+use crate::error::SpiceError;
+
+/// A dense square matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zeroed `n × n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA *stamp* operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A·x = b` in place by LU factorization with partial
+    /// pivoting, destroying `self` and overwriting `b` with the solution.
+    ///
+    /// Rows are equilibrated (scaled to unit max-norm) first: MNA
+    /// matrices legitimately span many decades between conductance and
+    /// source rows, and equilibration keeps the singularity test
+    /// meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a pivot of the
+    /// equilibrated matrix falls below `1e-13`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length must equal matrix dimension");
+        if n == 0 {
+            return Ok(());
+        }
+        // Row equilibration.
+        for r in 0..n {
+            let row_max = self.data[r * n..(r + 1) * n]
+                .iter()
+                .fold(0.0_f64, |m, &v| m.max(v.abs()));
+            if row_max == 0.0 {
+                return Err(SpiceError::SingularMatrix { row: r });
+            }
+            let inv = 1.0 / row_max;
+            for v in &mut self.data[r * n..(r + 1) * n] {
+                *v *= inv;
+            }
+            b[r] *= inv;
+        }
+        let tol = 1e-13;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = self.data[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = self.data[r * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < tol {
+                return Err(SpiceError::SingularMatrix { row: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    self.data.swap(k * n + c, pivot_row * n + c);
+                }
+                b.swap(k, pivot_row);
+            }
+            let pivot = self.data[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.data[r * n + k] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.data[r * n + k] = 0.0;
+                for c in (k + 1)..n {
+                    self.data[r * n + c] -= factor * self.data[k * n + c];
+                }
+                b[r] -= factor * b[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = b[k];
+            for c in (k + 1)..n {
+                sum -= self.data[k * n + c] * b[c];
+            }
+            b[k] = sum / self.data[k * n + k];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            a.add(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        a.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_system() {
+        // [2 1; 1 3]·x = [3; 5] → x = [4/5, 7/5].
+        let mut a = DenseMatrix::zeros(2);
+        a.add(0, 0, 2.0);
+        a.add(0, 1, 1.0);
+        a.add(1, 0, 1.0);
+        a.add(1, 1, 3.0);
+        let mut b = vec![3.0, 5.0];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0]·x = [2; 3] → x = [3, 2]; fails without pivoting.
+        let mut a = DenseMatrix::zeros(2);
+        a.add(0, 1, 1.0);
+        a.add(1, 0, 1.0);
+        let mut b = vec![2.0, 3.0];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut a = DenseMatrix::zeros(2);
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            a.solve_in_place(&mut b),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn stamps_accumulate() {
+        let mut a = DenseMatrix::zeros(1);
+        a.add(0, 0, 1.0);
+        a.add(0, 0, 2.5);
+        assert_eq!(a.get(0, 0), 3.5);
+        a.clear();
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solved() {
+        let mut a = DenseMatrix::zeros(0);
+        let mut b: Vec<f64> = vec![];
+        a.solve_in_place(&mut b).unwrap();
+    }
+
+    #[test]
+    fn badly_scaled_but_regular_system_is_solved() {
+        // Conductance stamps span many decades in real circuits.
+        let mut a = DenseMatrix::zeros(2);
+        a.add(0, 0, 1e9);
+        a.add(0, 1, -1.0);
+        a.add(1, 0, -1.0);
+        a.add(1, 1, 1e-6);
+        let x0 = 1.5e-9;
+        let x1 = 2.5;
+        let mut b = vec![1e9 * x0 - x1, -x0 + 1e-6 * x1];
+        a.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - x0).abs() < 1e-15);
+        assert!((b[1] - x1).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Diagonally dominant random systems are well-posed; the solver
+        /// must reproduce a planted solution.
+        #[test]
+        fn recovers_planted_solution(
+            n in 1usize..12,
+            seed in proptest::collection::vec(-1.0_f64..1.0, 144 + 12),
+        ) {
+            let mut a = DenseMatrix::zeros(n);
+            for r in 0..n {
+                let mut row_sum = 0.0;
+                for c in 0..n {
+                    let v = seed[r * 12 + c];
+                    if r != c {
+                        a.add(r, c, v);
+                        row_sum += v.abs();
+                    }
+                }
+                a.add(r, r, row_sum + 1.0);
+            }
+            let x: Vec<f64> = (0..n).map(|i| seed[144 + i]).collect();
+            let mut b = vec![0.0; n];
+            for r in 0..n {
+                for c in 0..n {
+                    b[r] += a.get(r, c) * x[c];
+                }
+            }
+            a.solve_in_place(&mut b).unwrap();
+            for i in 0..n {
+                prop_assert!((b[i] - x[i]).abs() < 1e-8, "x[{}] = {} vs {}", i, b[i], x[i]);
+            }
+        }
+    }
+}

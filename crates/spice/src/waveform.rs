@@ -1,0 +1,224 @@
+//! Time-dependent source waveforms for transient analysis.
+
+/// Waveform of an independent source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value (also the value used by DC analyses).
+    Dc(f64),
+    /// Trapezoidal pulse: `low` before `delay`, rising over `rise` to
+    /// `high`, holding for `width`, falling over `fall`, repeating with
+    /// `period` (0 disables repetition).
+    Pulse {
+        /// Initial/low level.
+        low: f64,
+        /// Pulsed/high level.
+        high: f64,
+        /// Time of the first rising edge start, s.
+        delay: f64,
+        /// Rise time, s (0 snaps).
+        rise: f64,
+        /// Fall time, s (0 snaps).
+        fall: f64,
+        /// High hold time, s.
+        width: f64,
+        /// Repetition period, s; `0.0` = single pulse.
+        period: f64,
+    },
+    /// Piece-wise linear `(time, value)` corners; holds the first value
+    /// before the first corner and the last value after the last corner.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid `offset + amplitude·sin(2π·freq·(t − delay))`, zero phase
+    /// before `delay`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency, Hz.
+        freq: f64,
+        /// Start delay, s.
+        delay: f64,
+    },
+}
+
+impl Waveform {
+    /// Value of the waveform at time `t` (seconds). For [`Waveform::Dc`]
+    /// this is time-independent.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match *self {
+            Self::Dc(v) => v,
+            Self::Pulse {
+                low,
+                high,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < delay {
+                    return low;
+                }
+                let mut tau = t - delay;
+                if period > 0.0 {
+                    tau %= period;
+                }
+                if tau < rise {
+                    if rise == 0.0 {
+                        high
+                    } else {
+                        low + (high - low) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    high
+                } else if tau < rise + width + fall {
+                    if fall == 0.0 {
+                        low
+                    } else {
+                        high - (high - low) * (tau - rise - width) / fall
+                    }
+                } else {
+                    low
+                }
+            }
+            Self::Pwl(ref pts) => {
+                if pts.is_empty() {
+                    return 0.0;
+                }
+                if t <= pts[0].0 {
+                    return pts[0].1;
+                }
+                for w in pts.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                pts.last().expect("non-empty").1
+            }
+            Self::Sin {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => {
+                if t < delay {
+                    offset
+                } else {
+                    offset
+                        + amplitude * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// The DC (t → 0⁻) value used for operating-point analyses.
+    pub fn dc_value(&self) -> f64 {
+        match *self {
+            Self::Dc(v) => v,
+            Self::Pulse { low, .. } => low,
+            Self::Pwl(ref pts) => pts.first().map(|p| p.1).unwrap_or(0.0),
+            Self::Sin { offset, .. } => offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(0.7);
+        assert_eq!(w.value_at(0.0), 0.7);
+        assert_eq!(w.value_at(1e-3), 0.7);
+        assert_eq!(w.dc_value(), 0.7);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 5e-10,
+            period: 0.0,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(0.9e-9), 0.0);
+        assert!((w.value_at(1.05e-9) - 0.5).abs() < 1e-12, "mid-rise");
+        assert_eq!(w.value_at(1.3e-9), 1.0);
+        let mid_fall = w.value_at(1e-9 + 1e-10 + 5e-10 + 5e-11);
+        assert!((mid_fall - 0.5).abs() < 1e-9);
+        assert_eq!(w.value_at(5e-9), 0.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn pulse_repeats_with_period() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1e-9,
+            period: 2e-9,
+        };
+        assert_eq!(w.value_at(0.5e-9), 1.0);
+        assert_eq!(w.value_at(1.5e-9), 0.0);
+        assert_eq!(w.value_at(2.5e-9), 1.0);
+        assert_eq!(w.value_at(3.5e-9), 0.0);
+    }
+
+    #[test]
+    fn zero_rise_time_snaps() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1e-9,
+            period: 0.0,
+        };
+        assert_eq!(w.value_at(0.0), 1.0);
+        assert_eq!(w.value_at(2e-9), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 1.0), (4.0, -1.0)]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5) - 0.5).abs() < 1e-12);
+        assert!((w.value_at(3.0) - 0.0).abs() < 1e-12);
+        assert_eq!(w.value_at(9.0), -1.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        let w = Waveform::Pwl(vec![]);
+        assert_eq!(w.value_at(1.0), 0.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn sin_waveform() {
+        let w = Waveform::Sin {
+            offset: 0.5,
+            amplitude: 0.2,
+            freq: 1e9,
+            delay: 0.0,
+        };
+        assert!((w.value_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((w.value_at(0.25e-9) - 0.7).abs() < 1e-9, "peak at quarter period");
+        assert_eq!(w.dc_value(), 0.5);
+    }
+}

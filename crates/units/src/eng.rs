@@ -1,0 +1,134 @@
+//! Engineering-notation formatting (SI prefixes).
+//!
+//! The experiment tables in `carbon-core` print values the way the paper
+//! does: `20 µA`, `83 mV/dec`, `6.45 kΩ`. [`Eng`] wraps an `f64` and
+//! renders it with an SI prefix chosen so the mantissa falls in `[1, 1000)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use carbon_units::eng::Eng;
+//!
+//! assert_eq!(format!("{}A", Eng(2.0e-5)), "20 µA");
+//! assert_eq!(format!("{}Ω", Eng(6453.0)), "6.453 kΩ");
+//! assert_eq!(format!("{}", Eng(0.0)), "0 ");
+//! ```
+
+use std::fmt;
+
+/// An `f64` displayed with an SI engineering prefix.
+///
+/// The mantissa is printed with up to four significant digits and trailing
+/// zeros trimmed; a space separates it from the prefix so a unit symbol can
+/// be appended directly (`format!("{}A", Eng(i))`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eng(pub f64);
+
+const PREFIXES: [(f64, &str); 17] = [
+    (1e24, "Y"),
+    (1e21, "Z"),
+    (1e18, "E"),
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "µ"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+    (1e-21, "z"),
+    (1e-24, "y"),
+];
+
+impl fmt::Display for Eng {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        if v == 0.0 {
+            return write!(f, "0 ");
+        }
+        if !v.is_finite() {
+            return write!(f, "{v} ");
+        }
+        let mag = v.abs();
+        let (scale, prefix) = PREFIXES
+            .iter()
+            .find(|(s, _)| mag >= *s)
+            .copied()
+            .unwrap_or((1e-24, "y"));
+        let mantissa = v / scale;
+        // Up to 4 significant digits, trailing zeros trimmed.
+        let digits = if mantissa.abs() >= 100.0 {
+            1
+        } else if mantissa.abs() >= 10.0 {
+            2
+        } else {
+            3
+        };
+        let s = format!("{mantissa:.digits$}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        write!(f, "{s} {prefix}")
+    }
+}
+
+/// Formats a value with an explicit number of significant decimals and a
+/// unit, without prefix scaling — used for quantities with conventional
+/// fixed units such as subthreshold swing in mV/dec.
+///
+/// # Examples
+///
+/// ```
+/// use carbon_units::eng::fixed_unit;
+///
+/// assert_eq!(fixed_unit(83.2, 1, "mV/dec"), "83.2 mV/dec");
+/// ```
+pub fn fixed_unit(value: f64, decimals: usize, unit: &str) -> String {
+    format!("{value:.decimals$} {unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_typical_paper_values() {
+        assert_eq!(format!("{}A", Eng(66e-6)), "66 µA");
+        assert_eq!(format!("{}A/µm", Eng(2e-3)), "2 mA/µm");
+        assert_eq!(format!("{}F", Eng(10e-15)), "10 fF");
+        assert_eq!(format!("{}Ω", Eng(11e3)), "11 kΩ");
+        assert_eq!(format!("{}m", Eng(9e-9)), "9 nm");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(format!("{}V", Eng(-0.4)), "-400 mV");
+    }
+
+    #[test]
+    fn zero_and_non_finite() {
+        assert_eq!(format!("{}", Eng(0.0)), "0 ");
+        assert!(format!("{}", Eng(f64::INFINITY)).contains("inf"));
+    }
+
+    #[test]
+    fn tiny_values_clamp_to_smallest_prefix() {
+        let s = format!("{}A", Eng(1e-27));
+        assert!(s.ends_with("yA"), "got {s}");
+    }
+
+    #[test]
+    fn significant_digit_policy() {
+        assert_eq!(format!("{}", Eng(123.456)), "123.5 ");
+        assert_eq!(format!("{}", Eng(12.3456)), "12.35 ");
+        assert_eq!(format!("{}", Eng(1.23456)), "1.235 ");
+    }
+
+    #[test]
+    fn fixed_unit_formatting() {
+        assert_eq!(fixed_unit(59.6, 1, "mV/dec"), "59.6 mV/dec");
+        assert_eq!(fixed_unit(0.399, 2, "V"), "0.40 V");
+    }
+}

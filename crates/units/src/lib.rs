@@ -1,0 +1,36 @@
+//! Physical constants and unit-safe quantity types for the
+//! `carbon-electronics` workspace.
+//!
+//! Everything downstream of this crate — band structure, device compact
+//! models, the circuit simulator — computes in SI internally. This crate
+//! provides:
+//!
+//! * [`consts`]: CODATA physical constants plus the graphene lattice
+//!   parameters used by zone-folding band-structure models,
+//! * strongly-typed scalar quantities ([`Voltage`], [`Current`],
+//!   [`Length`], [`Energy`], ...) so that a gate length cannot be passed
+//!   where a bias voltage is expected,
+//! * [`eng`]: engineering-notation formatting used by the experiment
+//!   tables (`12.3 µA`, `83 mV/dec`, ...).
+//!
+//! # Examples
+//!
+//! ```
+//! use carbon_units::{Voltage, Length, Energy};
+//!
+//! let vdd = Voltage::from_volts(0.5);
+//! let lg = Length::from_nanometers(9.0);
+//! let eg = Energy::from_electron_volts(0.56);
+//! assert!(vdd.volts() > 0.0 && lg.meters() < 1e-8 && eg.joules() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod consts;
+pub mod eng;
+mod quantity;
+
+pub use quantity::{
+    Capacitance, Charge, Conductance, Current, CurrentDensity, Energy, Length, Resistance,
+    Temperature, Time, Voltage,
+};

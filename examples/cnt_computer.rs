@@ -1,0 +1,70 @@
+//! The §V one-bit CNT computer, end to end: CNT inverter → ring
+//! oscillator → SUBNEG machine running counting and sorting → yield
+//! versus purity for the 178-CNFET design.
+//!
+//! ```text
+//! cargo run --release --example cnt_computer
+//! ```
+
+use carbon_electronics::experiments::fig8_computer;
+use carbon_electronics::logic::assembler::assemble;
+use carbon_electronics::logic::computer::{sorting_program, SubnegComputer};
+use carbon_electronics::units::Time;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fig8 = fig8_computer::run()?;
+    print!("{fig8}");
+
+    // Run a few extra sorting workloads on the same machine to show the
+    // computer is general, not a single hard-wired demo.
+    println!("extra sorting workloads (min, max):");
+    for (x, y) in [(42, 17), (5, 23), (7, 7), (0, 12)] {
+        let (prog, mem) = sorting_program(x, y);
+        let mut cpu = SubnegComputer::new(prog, mem, 8, Time::from_picoseconds(50.0))?;
+        cpu.run(1000)?;
+        println!(
+            "  sort({x:>2}, {y:>2}) → ({}, {})",
+            cpu.memory()[2],
+            cpu.memory()[3]
+        );
+    }
+    // And a program written in SUBNEG assembly, as one would actually
+    // program the machine.
+    let program = assemble(
+        "
+        ; multiply 6 × 4 by repeated addition (SUBNEG-style):
+        ; acc -= -x  is  acc += x. count starts at 3 so the add runs
+        ; four times (count 3, 2, 1, 0) before going negative.
+        .data x      6
+        .data negx   0
+        .data count  3
+        .data one    1
+        .data zero   0
+        .data always -1
+        .data acc    0
+
+              x    negx  loop    ; negx = -x (jump falls through)
+        loop: negx acc   end     ; acc += x (never negative here)
+              one  count end     ; count -= 1; exit when negative
+              zero always loop   ; unconditional jump back
+        end:
+        ",
+    )?;
+    // The loop above runs until count goes negative; cap steps and read
+    // the accumulator.
+    let acc = program.address_of("acc")?;
+    let mut cpu = SubnegComputer::new(
+        program.instructions,
+        program.memory,
+        8,
+        Time::from_picoseconds(30.0),
+    )?;
+    let (_, stats) = cpu.run(200)?;
+    println!(
+        "\nassembled multiply demo: 6 × 4 = acc = {} after {} instructions",
+        cpu.memory()[acc],
+        stats.instructions
+    );
+    assert_eq!(cpu.memory()[acc], 24);
+    Ok(())
+}

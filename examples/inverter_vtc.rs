@@ -1,0 +1,60 @@
+//! The Fig. 2 experiment as a runnable program: two inverters, one from
+//! saturating FETs, one from non-saturating ("real GNR") FETs, their
+//! voltage-transfer curves, gains, and noise margins.
+//!
+//! ```text
+//! cargo run --release --example inverter_vtc
+//! ```
+
+use carbon_electronics::logic::Inverter;
+use carbon_electronics::units::{Capacitance, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let good = Inverter::fig2_saturating();
+    let bad = Inverter::fig2_non_saturating();
+
+    let vtc_good = good.vtc(101)?;
+    let vtc_bad = bad.vtc(101)?;
+
+    println!("Voltage-transfer curves (V_DD = 1 V):");
+    println!(
+        "{:>8} {:>18} {:>22}",
+        "V_in [V]", "V_out saturating", "V_out non-saturating"
+    );
+    for k in (0..=100).step_by(10) {
+        println!(
+            "{:>8.2} {:>18.3} {:>22.3}",
+            vtc_good.vin()[k],
+            vtc_good.vout()[k],
+            vtc_bad.vout()[k]
+        );
+    }
+
+    let nm_good = vtc_good.noise_margins();
+    let nm_bad = vtc_bad.noise_margins();
+    println!("\nSaturating inverter   : max |gain| = {:.2}", vtc_good.max_abs_gain());
+    println!(
+        "                        NM_L = {:.2} V, NM_H = {:.2} V (paper: almost 0.4 V)",
+        nm_good.low, nm_good.high
+    );
+    println!("Non-saturating inverter: max |gain| = {:.2}", vtc_bad.max_abs_gain());
+    println!(
+        "                        NM_L = {:.2} V, NM_H = {:.2} V (paper: almost zero)",
+        nm_bad.low, nm_bad.high
+    );
+    println!(
+        "\nSupply conduction across the transition: {:.0} % vs {:.0} % of the sweep",
+        vtc_good.conduction_fraction() * 100.0,
+        vtc_bad.conduction_fraction() * 100.0
+    );
+
+    let delays = good.propagation_delay(
+        Capacitance::from_femtofarads(10.0),
+        Time::from_nanoseconds(1.0),
+    )?;
+    println!(
+        "Saturating inverter delay into the paper's 10 fF load: {:.1} ps",
+        delays.average().picoseconds()
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's Fig. 1 devices and sweep them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use carbon_electronics::devices::{BallisticFet, Fet, LinearGnrFet};
+use carbon_electronics::units::eng::Eng;
+use carbon_electronics::units::Voltage;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // The two simulated devices of Fig. 1: same 0.56 eV bandgap, one
+    // carbon nanotube, one graphene nanoribbon.
+    let cnt = BallisticFet::cnt_fig1()?;
+    let gnr = BallisticFet::gnr_fig1()?;
+    // And the device the paper says you actually get: a gate-steered
+    // linear resistor.
+    let real_gnr = LinearGnrFet::sub10nm_fig1();
+
+    let vds = Voltage::from_volts(0.5);
+    println!("Transfer characteristics at V_DS = 0.5 V (ballistic theory):");
+    println!("{:>8} {:>14} {:>14}", "V_GS [V]", "I_D CNT", "I_D GNR");
+    for k in 0..=10 {
+        let vg = Voltage::from_volts(k as f64 * 0.09 - 0.1);
+        let i_cnt = cnt.drain_current(vg, vds);
+        let i_gnr = gnr.drain_current(vg, vds);
+        println!(
+            "{:>8.2} {:>13}A {:>13}A",
+            vg.volts(),
+            Eng(i_cnt.amperes()),
+            Eng(i_gnr.amperes())
+        );
+    }
+
+    println!("\nOutput characteristics at V_GS = 0.5 V:");
+    let out_cnt = cnt.output(Voltage::ZERO, vds, 26, Voltage::from_volts(0.5));
+    let out_real = real_gnr.output(Voltage::ZERO, vds, 26, Voltage::from_volts(1.0));
+    println!(
+        "CNT saturation figure:      {:.2} (≫1: saturates like Fig. 1(b))",
+        out_cnt.saturation_figure()
+    );
+    println!(
+        "real GNR saturation figure: {:.2} (≈1: the linear resistor of Fig. 1(b))",
+        out_real.saturation_figure()
+    );
+    println!(
+        "\nCNT I(0.5 V)/I(0.2 V) = {:.2} — \"the current hardly changes\"",
+        out_cnt.current_at(0.5) / out_cnt.current_at(0.2)
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! The Fig. 5 benchmark as a runnable program: simulated CNT-FETs
+//! against the Si/InAs/InGaAs literature background, plus the §II/§III
+//! scalar claims (trigate vs CNT, 11 kΩ, dark space).
+//!
+//! ```text
+//! cargo run --release --example technology_benchmark
+//! ```
+
+use carbon_electronics::experiments::{claims, fig3, fig5};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fig5 = fig5::run()?;
+    print!("{fig5}");
+
+    println!();
+    let claims = claims::run()?;
+    print!("{claims}");
+
+    // The electrostatic backdrop: why the CNT can be benchmarked at all
+    // at these gate lengths.
+    let fig3 = fig3::run()?;
+    print!("{fig3}");
+    Ok(())
+}

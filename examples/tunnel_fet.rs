@@ -1,0 +1,43 @@
+//! The Fig. 6 CNT tunnel FET: sweep the gated PIN diode in both bias
+//! directions and extract the sub-thermal swing.
+//!
+//! ```text
+//! cargo run --release --example tunnel_fet
+//! ```
+
+use carbon_electronics::devices::CntTfet;
+use carbon_electronics::experiments::fig6;
+use carbon_electronics::spice::FetCurve;
+use carbon_electronics::units::consts::SS_THERMAL_LIMIT_MV_PER_DEC;
+use carbon_electronics::units::Voltage;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = fig6::run()?;
+    print!("{report}");
+
+    // Forward branch: an ordinary diode the gate barely touches.
+    let tfet = CntTfet::fig6();
+    println!("forward (diode) branch, I(V_D) at three gate voltages:");
+    println!("{:>9} {:>13} {:>13} {:>13}", "V_D [V]", "V_G=-1 V", "V_G=0 V", "V_G=+0.5 V");
+    for k in 0..=6 {
+        let vd = k as f64 * 0.08;
+        println!(
+            "{:>9.2} {:>13.3e} {:>13.3e} {:>13.3e}",
+            vd,
+            tfet.ids(-1.0, vd),
+            tfet.ids(0.0, vd),
+            tfet.ids(0.5, vd)
+        );
+    }
+    println!(
+        "\nthermal limit is {SS_THERMAL_LIMIT_MV_PER_DEC:.1} mV/dec; the steepest interval of the \
+         reverse branch beats it at {:.1} mV/dec",
+        report.best_swing
+    );
+    // Where does the turn-on sit? (Fig. 6(b): sharp rise with negative gate.)
+    let v_half = report
+        .reverse_transfer
+        .bias_at_current(report.reverse_transfer.current()[0] / 100.0)?;
+    println!("gate voltage two decades below on-state: {:.2} V", Voltage::from_volts(v_half).volts());
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! The §V integration-statistics pipeline: synthesis → sorting →
+//! placement → a 10,000-device measurement campaign (Park et al. style).
+//!
+//! ```text
+//! cargo run --release --example wafer_statistics
+//! ```
+
+use carbon_electronics::experiments::fig7_stats;
+use carbon_electronics::fab::stats::histogram;
+use carbon_electronics::fab::{SortingProcess, SynthesisRecipe, VmrProcess, WaferModel, SelfAssembly};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1: what synthesis gives you.
+    let mut rng = StdRng::seed_from_u64(7);
+    let recipe = SynthesisRecipe::arc_discharge();
+    let batch = recipe.sample_batch(&mut rng, 5000);
+    let p0 = SynthesisRecipe::semiconducting_fraction(&batch);
+    println!(
+        "as-grown batch (d̄ = {:.1} nm): {:.1} % semiconducting — the (n−m) mod 3 lottery",
+        recipe.d_mean().nanometers(),
+        p0 * 100.0
+    );
+
+    // Step 2: purify.
+    let process = SortingProcess::gel_chromatography();
+    let run = process.run(p0, 4);
+    println!("\n{} passes:", process.name());
+    for (k, (p, y)) in run.purity.iter().zip(&run.cumulative_yield).enumerate() {
+        println!("  pass {k}: purity {:.5} %, material yield {:.1} %", p * 100.0, y * 100.0);
+    }
+
+    // Step 3 + 4: place and measure 10,000 devices.
+    let fig7 = fig7_stats::run()?;
+    print!("\n{fig7}");
+
+    // VMR: the imperfection-immune rescue.
+    let vmr = VmrProcess::shulaker();
+    let out = vmr.simulate(
+        &mut rng,
+        &SelfAssembly::park_high_density(),
+        0.99,
+        20_000,
+    );
+    println!(
+        "VMR at 99 % ink: shorts {:.2} % → {:.3} %, functional {:.1} % → {:.1} %\n",
+        out.shorts_before * 100.0,
+        out.shorts_after * 100.0,
+        out.functional_before * 100.0,
+        out.functional_after * 100.0
+    );
+
+    // A wafer of one-bit computers.
+    let wafer = WaferModel::shulaker_run();
+    println!(
+        "wafer map ({} dies, {:.0} working computers expected):",
+        wafer.die_count(),
+        wafer.expected_good_dies()
+    );
+    println!("{}", wafer.sample(&mut rng));
+
+    // A threshold-voltage histogram like the Park paper's figures.
+    let vt = fig7.population.thresholds();
+    let (centres, counts) = histogram(&vt, 0.1, 0.6, 10);
+    println!("V_T histogram of the functional devices:");
+    let max = *counts.iter().max().unwrap_or(&1) as f64;
+    for (c, n) in centres.iter().zip(&counts) {
+        let bar = "#".repeat((*n as f64 / max * 50.0).round() as usize);
+        println!("  {c:.2} V | {bar} {n}");
+    }
+    Ok(())
+}

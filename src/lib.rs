@@ -1,0 +1,40 @@
+//! Umbrella crate for the `carbon-electronics` workspace — a Rust
+//! reproduction of F. Kreupl, *"Advancing CMOS with Carbon Electronics"*,
+//! DATE 2014.
+//!
+//! This crate re-exports the workspace's public crates under short module
+//! names so examples and downstream users can depend on a single crate:
+//!
+//! * [`units`] — physical constants and typed quantities
+//! * [`band`] — CNT/GNR band structure and carrier statistics
+//! * [`electro`] — short-channel electrostatics (scale length, DIBL, SS)
+//! * [`spice`] — the from-scratch nonlinear circuit simulator
+//! * [`devices`] — compact transistor models (ballistic CNT/GNR FET,
+//!   alpha-power MOSFET, CNT tunnel FET, series resistance)
+//! * [`logic`] — inverters, ring oscillators, the SUBNEG one-bit computer
+//! * [`fab`] — wafer-scale integration statistics and yield models
+//! * [`experiments`] — one module per paper figure/claim (`carbon-core`)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use carbon_electronics::devices::{BallisticFet, Fet};
+//! use carbon_electronics::units::Voltage;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+//! // The paper's Fig. 1 device: a CNT-FET with a 0.56 eV bandgap.
+//! let fet = BallisticFet::cnt_fig1()?;
+//! let id = fet.drain_current(Voltage::from_volts(0.5), Voltage::from_volts(0.5));
+//! assert!(id.microamperes() > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use carbon_band as band;
+pub use carbon_core as experiments;
+pub use carbon_devices as devices;
+pub use carbon_electro as electro;
+pub use carbon_fab as fab;
+pub use carbon_logic as logic;
+pub use carbon_spice as spice;
+pub use carbon_units as units;

@@ -1,0 +1,116 @@
+//! Cross-crate integration: the same compact model flowing through
+//! band structure → device → circuit → logic, plus fab-to-logic yield
+//! composition.
+
+use std::sync::Arc;
+
+use carbon_electronics::band::{Band1d, Chirality, CntBand};
+use carbon_electronics::devices::{BallisticFet, SeriesResistance, TableFet};
+use carbon_electronics::fab::{CircuitYield, SynthesisRecipe, VariabilityModel};
+use carbon_electronics::logic::Inverter;
+use carbon_electronics::spice::Circuit;
+use carbon_electronics::units::{Energy, Length, Resistance, Voltage};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn chirality_to_circuit_pipeline() {
+    // Pick a tube by bandgap, build its band structure, wrap it in the
+    // ballistic model, and put it in a common-source circuit.
+    let chirality = Chirality::with_bandgap_near(0.6).expect("tube exists");
+    let band = CntBand::from_chirality(chirality).expect("semiconducting");
+    assert!(band.bandgap().electron_volts() > 0.4);
+    let fet = Arc::new(
+        BallisticFet::builder(Arc::new(band))
+            .threshold_voltage(0.25)
+            .build()
+            .expect("valid device"),
+    );
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vdd", "vdd", "0", 0.8);
+    ckt.voltage_source("vg", "g", "0", 0.6);
+    ckt.resistor("rl", "vdd", "d", 20e3).expect("resistor");
+    ckt.fet("m1", "d", "g", "0", fet).expect("fet");
+    let op = ckt.op().expect("operating point");
+    let vd = op.voltage("d").expect("node exists");
+    assert!(
+        vd > 0.0 && vd < 0.8,
+        "transistor pulls the output between the rails: {vd}"
+    );
+}
+
+#[test]
+fn series_wrapped_table_model_in_an_inverter() {
+    // Compose three device layers: ballistic model → contact resistance
+    // → table acceleration → inverter.
+    let n_live = BallisticFet::cnt_fig1().expect("model builds");
+    let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56)).expect("gap ok");
+    let p_live = BallisticFet::builder(Arc::new(band))
+        .threshold_voltage(0.3)
+        .p_type()
+        .width(Length::from_nanometers(1.5))
+        .build()
+        .expect("p-type builds");
+    let r = Resistance::from_kilohms(5.5);
+    let n_contacted = SeriesResistance::symmetric(Arc::new(n_live), r);
+    let p_contacted = SeriesResistance::symmetric(Arc::new(p_live), r);
+    let n_fast = TableFet::sample(&n_contacted, (-0.2, 0.7), (-0.2, 0.7), 41, 41)
+        .expect("table builds");
+    let p_fast = TableFet::sample(&p_contacted, (-0.7, 0.2), (-0.7, 0.2), 41, 41)
+        .expect("table builds");
+    let inv = Inverter::new(Arc::new(n_fast), Arc::new(p_fast), Voltage::from_volts(0.5))
+        .expect("inverter builds");
+    let vtc = inv.vtc(61).expect("vtc solves");
+    assert!(vtc.max_abs_gain() > 1.2, "even contacted CNTs regenerate at 0.5 V");
+    assert!(vtc.vout()[0] > 0.45, "output high near the rail");
+}
+
+#[test]
+fn synthesis_statistics_feed_yield_model() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let batch = SynthesisRecipe::arc_discharge().sample_batch(&mut rng, 3000);
+    let purity = SynthesisRecipe::semiconducting_fraction(&batch);
+    // Un-sorted material: computer yield is hopeless.
+    let pop = VariabilityModel::new(
+        carbon_electronics::fab::SelfAssembly::park_high_density(),
+        purity,
+        0.35,
+        0.07,
+        10e-6,
+        0.4,
+    )
+    .expect("model builds")
+    .sample_population(&mut rng, 5000);
+    let yield_ = CircuitYield::new(pop.functional_yield()).expect("probability");
+    let computer = yield_.all_of(CircuitYield::SHULAKER_COMPUTER_CNFETS);
+    assert!(
+        computer < 1e-6,
+        "as-grown material cannot build a 178-FET computer: {computer:.2e}"
+    );
+}
+
+#[test]
+fn quantum_capacitance_consistent_between_band_and_device() {
+    // The charging feedback inside the ballistic model is the band's
+    // quantum capacitance; check they move together.
+    let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56)).expect("gap ok");
+    let t = carbon_electronics::units::Temperature::room();
+    let cq_gap = band.quantum_capacitance(Energy::ZERO, t);
+    let cq_edge = band.quantum_capacitance(Energy::from_electron_volts(0.28), t);
+    assert!(cq_edge > cq_gap);
+    // A device with C_ins far below Cq is insulator-limited: halving
+    // C_ins should halve the gate's grip (check via on-current drop).
+    let weak = BallisticFet::builder(Arc::new(band.clone()))
+        .gate_capacitance_per_length(1e-11)
+        .threshold_voltage(0.3)
+        .build()
+        .expect("builds");
+    let strong = BallisticFet::builder(Arc::new(band))
+        .gate_capacitance_per_length(1e-9)
+        .threshold_voltage(0.3)
+        .build()
+        .expect("builds");
+    assert!(strong.ids(0.5, 0.5) > weak.ids(0.5, 0.5));
+}
+
+use carbon_electronics::spice::FetCurve;

@@ -1,0 +1,95 @@
+//! Integration tests: every paper artifact reproduced end-to-end through
+//! the public API of the umbrella crate.
+//!
+//! These are the acceptance tests of the reproduction: each asserts the
+//! *shape* claims of a figure (who wins, what saturates, what collapses)
+//! rather than absolute currents — see EXPERIMENTS.md for the
+//! paper-vs-measured table.
+
+use carbon_electronics::experiments::{
+    claims, fig1, fig2, fig3, fig4, fig5, fig6, fig7_stats, fig8_computer,
+};
+
+#[test]
+fn fig1_cnt_and_gnr_theory_overlap_but_real_gnr_is_ohmic() {
+    let fig = fig1::run().expect("fig1 runs");
+    assert!(fig.transfer_log_gap < 0.8, "log-plot overlap");
+    let [cnt, gnr_sim, real] = fig.saturation_figures;
+    assert!(cnt > 2.0 && gnr_sim > 2.0, "both simulated devices saturate");
+    assert!(real < 1.8, "the measured-like GNR does not");
+    assert!(fig.cnt_sat_ratio < 1.35, "current hardly changes 0.2→0.5 V");
+}
+
+#[test]
+fn fig2_saturation_decides_whether_logic_works() {
+    let fig = fig2::run().expect("fig2 runs");
+    assert!(fig.max_gain[0] > 3.0 && fig.max_gain[1] < 1.0);
+    assert!(fig.margins_saturating.low > 0.25 && fig.margins_saturating.high > 0.25);
+    assert_eq!(
+        (fig.margins_non_saturating.low, fig.margins_non_saturating.high),
+        (0.0, 0.0),
+        "noise margin is almost zero"
+    );
+}
+
+#[test]
+fn fig3_gate_all_around_wins_and_carbon_has_no_darkspace() {
+    let fig = fig3::run().expect("fig3 runs");
+    for k in 0..fig.gate_lengths_nm.len() {
+        assert!(fig.geometries[2].ss[k] <= fig.geometries[0].ss[k]);
+        assert!(fig.geometries[2].dibl[k] <= fig.geometries[0].dibl[k]);
+    }
+    let cet: std::collections::HashMap<_, _> = fig
+        .cet_by_material
+        .iter()
+        .map(|(n, c)| (n.as_str(), *c))
+        .collect();
+    assert!(cet["CNT"] < cet["Si"]);
+    assert!(cet["Si"] < cet["InAs"]);
+}
+
+#[test]
+fn fig4_contact_resistance_reduces_and_linearizes() {
+    let fig = fig4::run().expect("fig4 runs");
+    assert!(fig.current_reduction > 1.4);
+    assert!(fig.saturation[1] < fig.saturation[0]);
+}
+
+#[test]
+fn fig5_cnt_sits_on_top_of_the_benchmark() {
+    let fig = fig5::run().expect("fig5 runs");
+    assert!(fig.min_advantage > 1.0, "CNTFET outperforms the alternatives");
+    assert!(!fig.cnt.is_empty() && fig.references.len() == 3);
+}
+
+#[test]
+fn fig6_tfet_is_sub_thermal_with_high_drive() {
+    let fig = fig6::run().expect("fig6 runs");
+    assert!((60.0..105.0).contains(&fig.average_swing));
+    assert!(fig.best_swing < 59.6);
+    assert!(fig.on_density_ma_per_um > 0.3);
+    assert!(fig.forward_gate_insensitive);
+}
+
+#[test]
+fn scalar_claims_hold() {
+    let c = claims::run().expect("claims run");
+    assert!((c.trigate_ion * 1e6 - 66.0).abs() < 5.0);
+    assert!(c.cross_section_ratio > 300.0);
+    assert!(c.gnr_on_off > 1e6);
+    assert!((c.cnt_series_kohm - 11.0).abs() < 1.5);
+}
+
+#[test]
+fn section5_statistics_and_computer() {
+    let stats = fig7_stats::run().expect("fig7 runs");
+    assert_eq!(stats.population.len(), 10_000);
+    assert!(stats.fractions[0] > 0.5);
+
+    let computer = fig8_computer::run().expect("fig8 runs");
+    assert_eq!(computer.sorted, (3, 9), "the CNT computer sorts");
+    assert!(computer.inverter_gain > 1.5, "CNT logic regenerates");
+    let first = computer.yield_vs_purity.first().expect("rows");
+    let last = computer.yield_vs_purity.last().expect("rows");
+    assert!(last.2 > first.2, "purity buys computer yield");
+}
