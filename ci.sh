@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the carbon-electronics workspace.
+#
+# Everything runs with --offline: the workspace has no external registry
+# dependencies (the in-tree carbon-runtime crate supplies the PRNG,
+# property-test, and bench substrates), so a bare checkout must build
+# and test with no network at all. Any step that tries to reach a
+# registry is itself a regression.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo build --workspace --release --offline
+run cargo test --workspace -q --offline
+# Bench targets in run-once smoke mode: keeps the three harness=false
+# binaries compiling and their workloads alive without paying
+# measurement cost.
+run cargo bench --offline -- --test
+
+echo "CI OK"

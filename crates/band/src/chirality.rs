@@ -154,10 +154,8 @@ impl Chirality {
     /// Returns `None` only for targets far outside the physical range
     /// (below ~0.2 eV or above ~1.7 eV).
     pub fn with_bandgap_near(target_ev: f64) -> Option<Self> {
-        let candidates = Self::in_diameter_range(
-            Length::from_nanometers(0.5),
-            Length::from_nanometers(4.0),
-        );
+        let candidates =
+            Self::in_diameter_range(Length::from_nanometers(0.5), Length::from_nanometers(4.0));
         candidates
             .into_iter()
             .filter(|c| c.is_semiconducting())
@@ -209,7 +207,11 @@ mod tests {
     fn zigzag_metallicity_follows_mod3() {
         for n in 1..30 {
             let c = Chirality::new(n, 0).unwrap();
-            let expect = if n % 3 == 0 { Metallicity::Metallic } else { Metallicity::Semiconducting };
+            let expect = if n % 3 == 0 {
+                Metallicity::Metallic
+            } else {
+                Metallicity::Semiconducting
+            };
             assert_eq!(c.metallicity(), expect, "({n},0)");
         }
     }
@@ -287,7 +289,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use carbon_runtime::prop::prelude::*;
 
     proptest! {
         #[test]

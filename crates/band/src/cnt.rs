@@ -74,7 +74,10 @@ impl CntBand {
             .iter()
             .map(|&r| Subband::new(half * r, CNT_DEGENERACY))
             .collect();
-        Ok(Self { subbands, chirality: None })
+        Ok(Self {
+            subbands,
+            chirality: None,
+        })
     }
 
     /// Builds the ladder from a chirality index.
@@ -113,7 +116,11 @@ mod tests {
     #[test]
     fn ladder_has_zone_folding_ratios() {
         let b = CntBand::from_bandgap(Energy::from_electron_volts(0.56)).unwrap();
-        let edges: Vec<f64> = b.subbands().iter().map(|s| s.edge.electron_volts()).collect();
+        let edges: Vec<f64> = b
+            .subbands()
+            .iter()
+            .map(|s| s.edge.electron_volts())
+            .collect();
         assert!((edges[0] - 0.28).abs() < 1e-12);
         assert!((edges[1] / edges[0] - 2.0).abs() < 1e-12);
         assert!((edges[2] / edges[0] - 4.0).abs() < 1e-12);
@@ -167,7 +174,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use carbon_runtime::prop::prelude::*;
 
     proptest! {
         #[test]

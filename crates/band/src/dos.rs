@@ -38,7 +38,10 @@ impl Subband {
     ///
     /// Panics if the edge is negative or the degeneracy is not positive.
     pub fn new(edge: Energy, degeneracy: f64) -> Self {
-        assert!(edge.joules() >= 0.0, "subband edge must be ≥ 0 (measured from mid-gap)");
+        assert!(
+            edge.joules() >= 0.0,
+            "subband edge must be ≥ 0 (measured from mid-gap)"
+        );
         assert!(degeneracy > 0.0, "degeneracy must be positive");
         Self { edge, degeneracy }
     }
@@ -96,7 +99,9 @@ pub trait Band1d {
                 let pref = s.degeneracy / (std::f64::consts::PI * HBAR * v);
                 // Integrate far enough that the Fermi tail is gone.
                 let e_max = (mu.max(d) + 40.0 * kt).max(d * 1.5);
-                let u_max = ((e_max / d.max(1e-30)) + ((e_max / d.max(1e-30)).powi(2) - 1.0).max(0.0).sqrt()).ln();
+                let u_max = ((e_max / d.max(1e-30))
+                    + ((e_max / d.max(1e-30)).powi(2) - 1.0).max(0.0).sqrt())
+                .ln();
                 if d <= 0.0 {
                     // Gapless subband: DOS is constant g/(πħv).
                     return pref * kt * log1pexp(mu / kt);
@@ -328,7 +333,10 @@ mod tests {
         let n = b.electron_density(Energy::from_electron_volts(0.1), t);
         // Metallic 1-D: n = (g/πħv)·kT·ln(1+e^{µ/kT}) ≈ g·µ/(πħv) for µ≫kT.
         let exact = 4.0 * 0.1 * Q_E / (std::f64::consts::PI * HBAR * FERMI_VELOCITY);
-        assert!((n - exact).abs() / exact < 0.05, "n = {n:.3e} vs {exact:.3e}");
+        assert!(
+            (n - exact).abs() / exact < 0.05,
+            "n = {n:.3e} vs {exact:.3e}"
+        );
         let _ = K_B; // silence unused import in some cfgs
     }
 

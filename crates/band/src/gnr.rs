@@ -158,7 +158,11 @@ mod tests {
     fn paper_reference_ribbon_n18() {
         // 2.1 nm wide, Eg = 0.56 eV in the paper (Ouyang et al. device).
         let g = GnrBand::armchair(18).unwrap();
-        assert!((g.width().nanometers() - 2.09).abs() < 0.02, "w = {}", g.width().nanometers());
+        assert!(
+            (g.width().nanometers() - 2.09).abs() < 0.02,
+            "w = {}",
+            g.width().nanometers()
+        );
         let eg = g.bandgap().electron_volts();
         assert!((eg - 0.555).abs() < 0.02, "Eg = {eg}");
     }
@@ -172,7 +176,10 @@ mod tests {
             GnrBand::armchair(11),
             Err(BuildGnrError::MetallicFamily { n_dimer: 11 })
         ));
-        assert!(matches!(GnrBand::armchair(2), Err(BuildGnrError::TooNarrow { .. })));
+        assert!(matches!(
+            GnrBand::armchair(2),
+            Err(BuildGnrError::TooNarrow { .. })
+        ));
     }
 
     #[test]
@@ -220,7 +227,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use carbon_runtime::prop::prelude::*;
 
     proptest! {
         #[test]

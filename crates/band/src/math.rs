@@ -78,7 +78,10 @@ pub fn fermi_kernel(x: f64) -> f64 {
 /// Panics if `tol` is not positive or `a`/`b` are not finite.
 pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
     assert!(tol > 0.0, "tolerance must be positive");
-    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "integration bounds must be finite"
+    );
     if a == b {
         return 0.0;
     }
@@ -151,7 +154,10 @@ impl std::fmt::Display for FindRootError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::NoBracket { fa, fb } => {
-                write!(f, "interval does not bracket a root (f(a) = {fa:.3e}, f(b) = {fb:.3e})")
+                write!(
+                    f,
+                    "interval does not bracket a root (f(a) = {fa:.3e}, f(b) = {fb:.3e})"
+                )
             }
             Self::IterationLimit { best } => {
                 write!(f, "root finder hit the iteration limit near {best:.6e}")
@@ -257,7 +263,10 @@ pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
 /// Panics if `n < 2` or either bound is not strictly positive.
 pub fn logspace(a: f64, b: f64, n: usize) -> Vec<f64> {
     assert!(a > 0.0 && b > 0.0, "logspace bounds must be positive");
-    linspace(a.ln(), b.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(a.ln(), b.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 #[cfg(test)]

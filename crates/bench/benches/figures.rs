@@ -1,74 +1,66 @@
-//! One Criterion benchmark per paper figure/claim: times the complete
+//! One benchmark per paper figure/claim: times the complete
 //! regeneration of each artifact and prints its headline numbers once,
 //! so a bench run doubles as an experiment run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use carbon_runtime::bench::{black_box, Harness};
 
 use carbon_core::{claims, fig1, fig2, fig3, fig4, fig5, fig6, fig7_stats, fig8_computer};
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::group("figures");
+
     let fig = fig1::run().expect("fig1 runs");
     println!(
         "[fig1] log-gap {:.2} dec; saturation CNT {:.1} / realGNR {:.2}",
         fig.transfer_log_gap, fig.saturation_figures[0], fig.saturation_figures[2]
     );
-    c.bench_function("fig1_cnt_vs_gnr", |b| b.iter(|| black_box(fig1::run().expect("runs"))));
-}
+    h.bench("fig1_cnt_vs_gnr", || {
+        black_box(fig1::run().expect("runs"));
+    });
 
-fn bench_fig2(c: &mut Criterion) {
     let fig = fig2::run().expect("fig2 runs");
     println!(
         "[fig2] gains {:.2}/{:.2}; NM {:.2}/{:.2} V",
         fig.max_gain[0], fig.max_gain[1], fig.margins_saturating.low, fig.margins_saturating.high
     );
-    let mut g = c.benchmark_group("fig2");
-    g.sample_size(20);
-    g.bench_function("inverter_vtcs", |b| b.iter(|| black_box(fig2::run().expect("runs"))));
-    g.finish();
-}
+    h.bench("fig2/inverter_vtcs", || {
+        black_box(fig2::run().expect("runs"));
+    });
 
-fn bench_fig3(c: &mut Criterion) {
     let fig = fig3::run().expect("fig3 runs");
     println!(
         "[fig3] GAA SS@9nm {:.1} mV/dec; CNT CET {:.2} nm",
         fig.geometries[2].ss[0],
         fig.cet_by_material.last().expect("rows").1
     );
-    c.bench_function("fig3_electrostatics", |b| b.iter(|| black_box(fig3::run().expect("runs"))));
-}
+    h.bench("fig3_electrostatics", || {
+        black_box(fig3::run().expect("runs"));
+    });
 
-fn bench_fig4(c: &mut Criterion) {
     let fig = fig4::run().expect("fig4 runs");
     println!(
         "[fig4] current ÷{:.2}; saturation {:.1}→{:.1}",
         fig.current_reduction, fig.saturation[0], fig.saturation[1]
     );
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10);
-    g.bench_function("contact_resistance", |b| b.iter(|| black_box(fig4::run().expect("runs"))));
-    g.finish();
-}
+    h.bench("fig4/contact_resistance", || {
+        black_box(fig4::run().expect("runs"));
+    });
 
-fn bench_fig5(c: &mut Criterion) {
     let fig = fig5::run().expect("fig5 runs");
     println!("[fig5] CNT advantage ≥ {:.1}×", fig.min_advantage);
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
-    g.bench_function("technology_benchmark", |b| b.iter(|| black_box(fig5::run().expect("runs"))));
-    g.finish();
-}
+    h.bench("fig5/technology_benchmark", || {
+        black_box(fig5::run().expect("runs"));
+    });
 
-fn bench_fig6(c: &mut Criterion) {
     let fig = fig6::run().expect("fig6 runs");
     println!(
         "[fig6] SS avg {:.1} best {:.1} mV/dec; {:.2} mA/µm",
         fig.average_swing, fig.best_swing, fig.on_density_ma_per_um
     );
-    c.bench_function("fig6_tunnel_fet", |b| b.iter(|| black_box(fig6::run().expect("runs"))));
-}
+    h.bench("fig6_tunnel_fet", || {
+        black_box(fig6::run().expect("runs"));
+    });
 
-fn bench_claims(c: &mut Criterion) {
     let cl = claims::run().expect("claims run");
     println!(
         "[claims] trigate {:.0} µA vs CNT {:.0} µA @0.6 V; {:.0}× area",
@@ -76,10 +68,10 @@ fn bench_claims(c: &mut Criterion) {
         cl.cnt_ion_06 * 1e6,
         cl.cross_section_ratio
     );
-    c.bench_function("scalar_claims", |b| b.iter(|| black_box(claims::run().expect("runs"))));
-}
+    h.bench("scalar_claims", || {
+        black_box(claims::run().expect("runs"));
+    });
 
-fn bench_fig7(c: &mut Criterion) {
     let fig = fig7_stats::run().expect("fig7 runs");
     println!(
         "[fig7] functional {:.1} %; Vt {:.3}±{:.3} V",
@@ -87,15 +79,10 @@ fn bench_fig7(c: &mut Criterion) {
         fig.vt_stats.0,
         fig.vt_stats.1
     );
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("park_campaign", |b| {
-        b.iter(|| black_box(fig7_stats::run().expect("runs")))
+    h.bench("fig7/park_campaign", || {
+        black_box(fig7_stats::run().expect("runs"));
     });
-    g.finish();
-}
 
-fn bench_fig8(c: &mut Criterion) {
     let fig = fig8_computer::run().expect("fig8 runs");
     println!(
         "[fig8] stage {:.0} ps; sorted {:?}; counting {} instr",
@@ -103,24 +90,9 @@ fn bench_fig8(c: &mut Criterion) {
         fig.sorted,
         fig.counting.0
     );
-    let mut g = c.benchmark_group("fig8");
-    g.sample_size(10);
-    g.bench_function("cnt_computer", |b| {
-        b.iter(|| black_box(fig8_computer::run().expect("runs")))
+    h.bench("fig8/cnt_computer", || {
+        black_box(fig8_computer::run().expect("runs"));
     });
-    g.finish();
-}
 
-criterion_group!(
-    figures,
-    bench_fig1,
-    bench_fig2,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_claims,
-    bench_fig7,
-    bench_fig8
-);
-criterion_main!(figures);
+    h.finish();
+}

@@ -1,64 +1,48 @@
 //! §V statistics workloads and device-model evaluation costs: the
-//! Monte-Carlo campaign scaling, sorting arithmetic, and the live
-//! ballistic solve versus the table-model lookup that makes transient
-//! simulation affordable.
+//! Monte-Carlo campaign scaling (sequential vs the parallel executor),
+//! sorting arithmetic, and the live ballistic solve versus the
+//! table-model lookup that makes transient simulation affordable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use carbon_runtime::bench::{black_box, Harness};
+use carbon_runtime::Xoshiro256pp;
 
 use carbon_devices::{BallisticFet, TableFet};
 use carbon_fab::{SortingProcess, VariabilityModel};
 use carbon_spice::FetCurve;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn bench_device_montecarlo(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::group("montecarlo");
+
     let model = VariabilityModel::park_experiment();
-    let mut g = c.benchmark_group("device_montecarlo");
     for n in [1_000usize, 10_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(5);
-                black_box(model.sample_population(&mut rng, n))
-            })
+        h.bench(&format!("device_montecarlo/{n}"), || {
+            let mut rng = Xoshiro256pp::seed_from_u64(5);
+            black_box(model.sample_population(&mut rng, n));
+        });
+        // The same campaign through the deterministic parallel
+        // executor — the speedup (if any) is the multi-core win.
+        h.bench(&format!("device_montecarlo_par/{n}"), || {
+            black_box(model.sample_population_par(5, n));
         });
     }
-    g.finish();
-}
 
-fn bench_sorting(c: &mut Criterion) {
     let p = SortingProcess::gel_chromatography();
-    c.bench_function("sorting_five_nines", |b| {
-        b.iter(|| black_box(p.passes_to_reach(0.67, 0.99999).expect("reachable")))
+    h.bench("sorting_five_nines", || {
+        black_box(p.passes_to_reach(0.67, 0.99999).expect("reachable"));
     });
-}
 
-fn bench_ballistic_eval(c: &mut Criterion) {
     let live = BallisticFet::cnt_fig1().expect("model builds");
-    c.bench_function("ballistic_ids_live", |b| {
-        b.iter(|| black_box(live.ids(black_box(0.45), black_box(0.37))))
+    h.bench("ballistic_ids_live", || {
+        black_box(live.ids(black_box(0.45), black_box(0.37)));
     });
     let table = TableFet::sample(&live, (-0.2, 0.9), (-0.2, 0.9), 61, 61).expect("table");
-    c.bench_function("ballistic_ids_table", |b| {
-        b.iter(|| black_box(table.ids(black_box(0.45), black_box(0.37))))
+    h.bench("ballistic_ids_table", || {
+        black_box(table.ids(black_box(0.45), black_box(0.37)));
     });
-}
 
-fn bench_table_build(c: &mut Criterion) {
-    let live = BallisticFet::cnt_fig1().expect("model builds");
-    let mut g = c.benchmark_group("table_build");
-    g.sample_size(10);
-    g.bench_function("33x33", |b| {
-        b.iter(|| black_box(TableFet::sample(&live, (-0.2, 0.9), (-0.2, 0.9), 33, 33).expect("ok")))
+    h.bench("table_build/33x33", || {
+        black_box(TableFet::sample(&live, (-0.2, 0.9), (-0.2, 0.9), 33, 33).expect("ok"));
     });
-    g.finish();
-}
 
-criterion_group!(
-    montecarlo,
-    bench_device_montecarlo,
-    bench_sorting,
-    bench_ballistic_eval,
-    bench_table_build
-);
-criterion_main!(montecarlo);
+    h.finish();
+}

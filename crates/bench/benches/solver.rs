@@ -2,43 +2,34 @@
 //! on growing ladders, Newton convergence on diode chains, DC sweeps,
 //! and transient integration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use carbon_runtime::bench::{black_box, Harness};
 
 use carbon_bench::{diode_chain, resistor_ladder};
 use carbon_spice::parser::parse_deck;
 use carbon_spice::{Circuit, Waveform};
 
-fn bench_ladder_op(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mna_ladder_op");
+fn main() {
+    let mut h = Harness::group("solver");
+
     for n in [8usize, 32, 128] {
         let ckt = resistor_ladder(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &ckt, |b, ckt| {
-            b.iter(|| black_box(ckt.op().expect("solvable")))
+        h.bench(&format!("mna_ladder_op/{n}"), || {
+            black_box(ckt.op().expect("solvable"));
         });
     }
-    g.finish();
-}
 
-fn bench_diode_newton(c: &mut Criterion) {
-    let mut g = c.benchmark_group("newton_diode_chain");
     for n in [2usize, 8, 24] {
         let ckt = diode_chain(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &ckt, |b, ckt| {
-            b.iter(|| black_box(ckt.op().expect("solvable")))
+        h.bench(&format!("newton_diode_chain/{n}"), || {
+            black_box(ckt.op().expect("solvable"));
         });
     }
-    g.finish();
-}
 
-fn bench_dc_sweep(c: &mut Criterion) {
     let ckt = resistor_ladder(16);
-    c.bench_function("dc_sweep_100pt", |b| {
-        b.iter(|| black_box(ckt.dc_sweep("v", 0.0, 1.0, 0.01).expect("sweeps")))
+    h.bench("dc_sweep_100pt", || {
+        black_box(ckt.dc_sweep("v", 0.0, 1.0, 0.01).expect("sweeps"));
     });
-}
 
-fn bench_transient_rc(c: &mut Criterion) {
     let mut ckt = Circuit::new();
     ckt.voltage_source_wave(
         "v",
@@ -57,23 +48,21 @@ fn bench_transient_rc(c: &mut Criterion) {
     .expect("source");
     ckt.resistor("r", "in", "out", 1e3).expect("resistor");
     ckt.capacitor("c", "out", "0", 1e-9).expect("capacitor");
-    c.bench_function("transient_rc_1000_steps", |b| {
-        b.iter(|| black_box(ckt.transient(1e-9, 1e-6).expect("integrates")))
+    h.bench("transient_rc_1000_steps", || {
+        black_box(ckt.transient(1e-9, 1e-6).expect("integrates"));
     });
-}
 
-fn bench_ac_sweep(c: &mut Criterion) {
     let mut ckt = Circuit::new();
     ckt.voltage_source("vin", "in", "0", 0.0);
     ckt.resistor("r", "in", "out", 1e3).expect("resistor");
     ckt.capacitor("cl", "out", "0", 1e-9).expect("capacitor");
-    let freqs: Vec<f64> = (0..100).map(|k| 1e3 * 10f64.powf(k as f64 / 16.0)).collect();
-    c.bench_function("ac_sweep_100pt", |b| {
-        b.iter(|| black_box(ckt.ac_sweep("vin", &freqs).expect("sweeps")))
+    let freqs: Vec<f64> = (0..100)
+        .map(|k| 1e3 * 10f64.powf(k as f64 / 16.0))
+        .collect();
+    h.bench("ac_sweep_100pt", || {
+        black_box(ckt.ac_sweep("vin", &freqs).expect("sweeps"));
     });
-}
 
-fn bench_deck_parse(c: &mut Criterion) {
     let deck = {
         let mut d = String::from("V1 n0 0 1.0\n");
         for i in 0..64 {
@@ -82,18 +71,9 @@ fn bench_deck_parse(c: &mut Criterion) {
         }
         d
     };
-    c.bench_function("parse_deck_129_elements", |b| {
-        b.iter(|| black_box(parse_deck(&deck).expect("parses")))
+    h.bench("parse_deck_129_elements", || {
+        black_box(parse_deck(&deck).expect("parses"));
     });
-}
 
-criterion_group!(
-    solver,
-    bench_ladder_op,
-    bench_diode_newton,
-    bench_dc_sweep,
-    bench_transient_rc,
-    bench_ac_sweep,
-    bench_deck_parse
-);
-criterion_main!(solver);
+    h.finish();
+}

@@ -24,8 +24,13 @@ pub fn resistor_ladder(n: usize) -> Circuit {
     let mut ckt = Circuit::new();
     ckt.voltage_source("v", "n0", "0", 1.0);
     for i in 0..n {
-        ckt.resistor(&format!("rs{i}"), &format!("n{i}"), &format!("n{}", i + 1), 1e3)
-            .expect("unique names");
+        ckt.resistor(
+            &format!("rs{i}"),
+            &format!("n{i}"),
+            &format!("n{}", i + 1),
+            1e3,
+        )
+        .expect("unique names");
         ckt.resistor(&format!("rp{i}"), &format!("n{}", i + 1), "0", 1e3)
             .expect("unique names");
     }
@@ -44,10 +49,17 @@ pub fn diode_chain(n: usize) -> Circuit {
     ckt.voltage_source("v", "n0", "0", 5.0);
     ckt.resistor("r", "n0", "d0", 1e3).expect("unique");
     for i in 0..n {
-        ckt.diode(&format!("d{i}"), &format!("d{i}"), &format!("d{}", i + 1), 1e-15, 1.0)
-            .expect("unique");
+        ckt.diode(
+            &format!("d{i}"),
+            &format!("d{i}"),
+            &format!("d{}", i + 1),
+            1e-15,
+            1.0,
+        )
+        .expect("unique");
     }
-    ckt.resistor("rt", &format!("d{n}"), "0", 10.0).expect("unique");
+    ckt.resistor("rt", &format!("d{n}"), "0", 10.0)
+        .expect("unique");
     ckt
 }
 

@@ -93,7 +93,10 @@ pub fn run() -> Result<Ablations, CoreError> {
     for mfp_nm in [30.0, 100.0, 300.0, 1000.0] {
         let fet = BallisticFet::builder(Arc::new(band.clone()))
             .threshold_voltage(0.3)
-            .channel(Length::from_nanometers(30.0), Length::from_nanometers(mfp_nm))
+            .channel(
+                Length::from_nanometers(30.0),
+                Length::from_nanometers(mfp_nm),
+            )
             .build()
             .map_err(|e| CoreError::Device(e.to_string()))?;
         ballisticity.push((mfp_nm, fet.ids(0.5, 0.5) * 1e6));
@@ -201,8 +204,7 @@ impl std::fmt::Display for Ablations {
             &["T [K]", "SS [mV/dec]", "kT/q·ln10 [mV/dec]"],
         );
         for (t_kelvin, ss) in &self.temperature {
-            let limit = carbon_units::consts::K_B * t_kelvin
-                / carbon_units::consts::Q_E
+            let limit = carbon_units::consts::K_B * t_kelvin / carbon_units::consts::Q_E
                 * std::f64::consts::LN_10
                 * 1e3;
             temp.push_owned_row(vec![num(*t_kelvin, 0), num(*ss, 1), num(limit, 1)]);
@@ -225,7 +227,8 @@ mod tests {
             rows[0]
         );
         assert!(
-            rows.windows(2).all(|w| w[1].noise_margin <= w[0].noise_margin + 0.02),
+            rows.windows(2)
+                .all(|w| w[1].noise_margin <= w[0].noise_margin + 0.02),
             "monotone degradation: {rows:?}"
         );
         let last = rows.last().unwrap();
@@ -274,7 +277,10 @@ mod tests {
     fn thermionic_swing_is_linear_in_temperature() {
         let a = run().unwrap();
         let rows = &a.temperature;
-        assert!(rows.windows(2).all(|w| w[1].1 > w[0].1), "SS grows with T: {rows:?}");
+        assert!(
+            rows.windows(2).all(|w| w[1].1 > w[0].1),
+            "SS grows with T: {rows:?}"
+        );
         // Ratio of SS to temperature is constant within the gate-control
         // factor: SS(T)/T spread under 10 %.
         let ratios: Vec<f64> = rows.iter().map(|(t, ss)| ss / t).collect();
@@ -287,7 +293,10 @@ mod tests {
             let limit = carbon_units::consts::K_B * t / carbon_units::consts::Q_E
                 * std::f64::consts::LN_10
                 * 1e3;
-            assert!(*ss > limit && *ss < 1.35 * limit, "T = {t}: {ss} vs {limit}");
+            assert!(
+                *ss > limit && *ss < 1.35 * limit,
+                "T = {t}: {ss} vs {limit}"
+            );
         }
     }
 

@@ -5,13 +5,27 @@
 //! cargo run --release -p carbon-core --bin report
 //! ```
 
-use carbon_core::{ablations, cascade, claims, fig1, fig2, fig3, fig4, fig5, fig6, fig7_stats, fig8_computer, rf, variability_logic};
+use carbon_core::{
+    ablations, cascade, claims, fig1, fig2, fig3, fig4, fig5, fig6, fig7_stats, fig8_computer, rf,
+    variability_logic,
+};
 
 fn main() -> Result<(), carbon_core::CoreError> {
-    println!("# Experiment report — Kreupl, \"Advancing CMOS with Carbon Electronics\" (DATE 2014)\n");
-    println!("## Fig. 1 — CNT-FET vs GNR-FET, same bandgap\n\n{}", fig1::run()?);
-    println!("## Fig. 2 — inverter VTCs with and without saturation\n\n{}", fig2::run()?);
-    println!("## Fig. 3 — gate-all-around electrostatics and dark space\n\n{}", fig3::run()?);
+    println!(
+        "# Experiment report — Kreupl, \"Advancing CMOS with Carbon Electronics\" (DATE 2014)\n"
+    );
+    println!(
+        "## Fig. 1 — CNT-FET vs GNR-FET, same bandgap\n\n{}",
+        fig1::run()?
+    );
+    println!(
+        "## Fig. 2 — inverter VTCs with and without saturation\n\n{}",
+        fig2::run()?
+    );
+    println!(
+        "## Fig. 3 — gate-all-around electrostatics and dark space\n\n{}",
+        fig3::run()?
+    );
     println!("## Fig. 4 — contact resistance\n\n{}", fig4::run()?);
     println!("## Fig. 5 — technology benchmark\n\n{}", fig5::run()?);
     println!("## Fig. 6 — CNT tunnel FET\n\n{}", fig6::run()?);
@@ -21,6 +35,9 @@ fn main() -> Result<(), carbon_core::CoreError> {
     println!("## §V — integration statistics\n\n{}", fig7_stats::run()?);
     println!("## §V — one-bit CNT computer\n\n{}", fig8_computer::run()?);
     println!("## Ablations\n\n{}", ablations::run()?);
-    println!("## §V — variability to logic robustness\n\n{}", variability_logic::run()?);
+    println!(
+        "## §V — variability to logic robustness\n\n{}",
+        variability_logic::run()?
+    );
     Ok(())
 }

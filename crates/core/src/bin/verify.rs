@@ -84,7 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     list.check(
         "Dark space: CNT < Si < InGaAs < InAs (CET in inversion)",
         cet("CNT") < cet("Si") && cet("Si") < cet("InGaAs") && cet("InGaAs") < cet("InAs"),
-        format!("{:.2} < {:.2} < {:.2} < {:.2} nm", cet("CNT"), cet("Si"), cet("InGaAs"), cet("InAs")),
+        format!(
+            "{:.2} < {:.2} < {:.2} < {:.2} nm",
+            cet("CNT"),
+            cet("Si"),
+            cet("InGaAs"),
+            cet("InAs")
+        ),
     );
 
     let f4 = fig4::run()?;
@@ -108,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     list.check(
         "Fig6: TFET average swing ≈ 83 mV/dec, best interval sub-60",
         (60.0..105.0).contains(&f6.average_swing) && f6.best_swing < 59.6,
-        format!("avg {:.1}, best {:.1} mV/dec", f6.average_swing, f6.best_swing),
+        format!(
+            "avg {:.1}, best {:.1} mV/dec",
+            f6.average_swing, f6.best_swing
+        ),
     );
     list.check(
         "Fig6: ~1 mA/µm on-current, forward diode gate-insensitive",
@@ -156,11 +165,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     list.check(
         "§II: cascaded logic regenerates only with saturation",
         casc.saturating.rail_error.last().copied().unwrap_or(1.0) < 0.02
-            && casc.non_saturating.rail_error.last().copied().unwrap_or(0.0) > 0.35,
+            && casc
+                .non_saturating
+                .rail_error
+                .last()
+                .copied()
+                .unwrap_or(0.0)
+                > 0.35,
         format!(
             "final rail error {:.3} vs {:.3} V",
-            casc.saturating.rail_error.last().copied().unwrap_or(f64::NAN),
-            casc.non_saturating.rail_error.last().copied().unwrap_or(f64::NAN)
+            casc.saturating
+                .rail_error
+                .last()
+                .copied()
+                .unwrap_or(f64::NAN),
+            casc.non_saturating
+                .rail_error
+                .last()
+                .copied()
+                .unwrap_or(f64::NAN)
         ),
     );
 
@@ -198,7 +221,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = ablations::run()?;
     list.check(
         "Ablations: every design knob moves its figure the right way",
-        a.saturation.last().map(|r| r.max_gain < 1.0).unwrap_or(false)
+        a.saturation
+            .last()
+            .map(|r| r.max_gain < 1.0)
+            .unwrap_or(false)
             && a.contacts.windows(2).all(|w| w[1].1 < w[0].1)
             && a.temperature.windows(2).all(|w| w[1].1 > w[0].1),
         format!("{} sweeps", 5),
@@ -208,7 +234,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     list.check(
         "§V: measured V_T dispersion still yields robust logic",
         v.rows[1].robust_fraction > 0.6,
-        format!("{:.0} % robust at σ = 70 mV", v.rows[1].robust_fraction * 100.0),
+        format!(
+            "{:.0} % robust at σ = 70 mV",
+            v.rows[1].robust_fraction * 100.0
+        ),
     );
 
     println!();

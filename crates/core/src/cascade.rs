@@ -60,8 +60,20 @@ fn chain_levels(
     for k in 0..STAGES {
         let inp = format!("s{k}");
         let out = format!("s{}", k + 1);
-        ckt.fet(&format!("mp{k}"), &out, &inp, "vdd", Arc::new(FetRef(pfet.clone())))?;
-        ckt.fet(&format!("mn{k}"), &out, &inp, "0", Arc::new(FetRef(nfet.clone())))?;
+        ckt.fet(
+            &format!("mp{k}"),
+            &out,
+            &inp,
+            "vdd",
+            Arc::new(FetRef(pfet.clone())),
+        )?;
+        ckt.fet(
+            &format!("mn{k}"),
+            &out,
+            &inp,
+            "0",
+            Arc::new(FetRef(nfet.clone())),
+        )?;
     }
     let op = ckt.op()?;
     let mut levels = Vec::with_capacity(STAGES + 1);
@@ -124,7 +136,11 @@ impl std::fmt::Display for Cascade {
         );
         for k in 0..self.saturating.levels.len() {
             t.push_owned_row(vec![
-                if k == 0 { "input".into() } else { format!("{k}") },
+                if k == 0 {
+                    "input".into()
+                } else {
+                    format!("{k}")
+                },
                 num(self.saturating.levels[k], 3),
                 num(self.non_saturating.levels[k], 3),
             ]);
@@ -149,7 +165,11 @@ mod tests {
         let last = *c.saturating.rail_error.last().unwrap();
         assert!(last < 0.02, "restored to the rail: error {last}");
         // And restoration happens fast: by stage 2 the error is tiny.
-        assert!(c.saturating.rail_error[2] < 0.05, "{:?}", c.saturating.rail_error);
+        assert!(
+            c.saturating.rail_error[2] < 0.05,
+            "{:?}",
+            c.saturating.rail_error
+        );
     }
 
     #[test]

@@ -78,10 +78,8 @@ pub fn run() -> Result<Claims, CoreError> {
     // (Fermi level ~0.15 eV above the first subband edge).
     let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56))
         .map_err(|e| CoreError::Device(e.to_string()))?;
-    let cnt_injection_velocity = band.injection_velocity(
-        Energy::from_electron_volts(0.43),
-        Temperature::room(),
-    );
+    let cnt_injection_velocity =
+        band.injection_velocity(Energy::from_electron_volts(0.43), Temperature::room());
     Ok(Claims {
         trigate_ion,
         cnt_ion_06,
@@ -96,10 +94,7 @@ pub fn run() -> Result<Claims, CoreError> {
 
 impl std::fmt::Display for Claims {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let mut t = Table::new(
-            "§II/§III scalar claims",
-            &["claim", "measured", "paper"],
-        );
+        let mut t = Table::new("§II/§III scalar claims", &["claim", "measured", "paper"]);
         t.push_owned_row(vec![
             "trigate I_on (1 V, 1 V)".into(),
             format!("{:.1} µA", self.trigate_ion * 1e6),
@@ -156,7 +151,11 @@ mod tests {
     #[test]
     fn trigate_and_cnt_currents() {
         let c = run().unwrap();
-        assert!((c.trigate_ion * 1e6 - 66.0).abs() < 5.0, "trigate {}", c.trigate_ion);
+        assert!(
+            (c.trigate_ion * 1e6 - 66.0).abs() < 5.0,
+            "trigate {}",
+            c.trigate_ion
+        );
         assert!(
             (8.0..40.0).contains(&(c.cnt_ion_06 * 1e6)),
             "CNT at 0.6 V: {} µA",
@@ -169,7 +168,11 @@ mod tests {
     #[test]
     fn cross_section_ratio_above_300() {
         let c = run().unwrap();
-        assert!(c.cross_section_ratio > 300.0, "ratio {}", c.cross_section_ratio);
+        assert!(
+            c.cross_section_ratio > 300.0,
+            "ratio {}",
+            c.cross_section_ratio
+        );
     }
 
     #[test]
@@ -182,7 +185,11 @@ mod tests {
     #[test]
     fn series_resistance_claim() {
         let c = run().unwrap();
-        assert!((c.cnt_series_kohm - 11.0).abs() < 1.5, "{} kΩ", c.cnt_series_kohm);
+        assert!(
+            (c.cnt_series_kohm - 11.0).abs() < 1.5,
+            "{} kΩ",
+            c.cnt_series_kohm
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ mod tests {
         let fig = run().unwrap();
         let i_lo = fig.real_gnr_outputs[0].current_at(0.4);
         let i_hi = fig.real_gnr_outputs[1].current_at(0.4);
-        assert!(i_hi > 1.2 * i_lo, "gate moves the resistor: {i_lo} → {i_hi}");
+        assert!(
+            i_hi > 1.2 * i_lo,
+            "gate moves the resistor: {i_lo} → {i_hi}"
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ impl std::fmt::Display for Fig2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut t = Table::new(
             "Fig. 2(c)/(d) — inverter voltage-transfer curves (V_DD = 1 V, 10 fF load)",
-            &["V_in [V]", "V_out saturating [V]", "V_out non-saturating [V]"],
+            &[
+                "V_in [V]",
+                "V_out saturating [V]",
+                "V_out non-saturating [V]",
+            ],
         );
         for k in (0..self.vtc_saturating.vin().len()).step_by(10) {
             t.push_owned_row(vec![
@@ -133,7 +137,11 @@ mod tests {
     fn reproduces_the_fig2_verdict() {
         let fig = run().unwrap();
         assert!(fig.max_gain[0] > 3.0, "saturating gain {}", fig.max_gain[0]);
-        assert!(fig.max_gain[1] < 1.0, "non-saturating gain {}", fig.max_gain[1]);
+        assert!(
+            fig.max_gain[1] < 1.0,
+            "non-saturating gain {}",
+            fig.max_gain[1]
+        );
         assert!(fig.margins_saturating.low > 0.25);
         assert!(fig.margins_saturating.high > 0.25);
         assert_eq!(fig.margins_non_saturating.low, 0.0);

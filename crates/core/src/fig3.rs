@@ -206,7 +206,11 @@ mod tests {
     #[test]
     fn offset_contacts_pay_off() {
         let fig = run().unwrap();
-        assert!(fig.fringe_reduction > 0.5, "reduction {}", fig.fringe_reduction);
+        assert!(
+            fig.fringe_reduction > 0.5,
+            "reduction {}",
+            fig.fringe_reduction
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ mod tests {
     #[test]
     fn contacts_reduce_and_linearize() {
         let fig = run().unwrap();
-        assert!(fig.current_reduction > 1.4, "reduction {}", fig.current_reduction);
+        assert!(
+            fig.current_reduction > 1.4,
+            "reduction {}",
+            fig.current_reduction
+        );
         assert!(
             fig.saturation[1] < 0.7 * fig.saturation[0],
             "ideal {} vs contacted {}",

@@ -71,36 +71,41 @@ pub fn run() -> Result<Fig5, CoreError> {
     let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56))
         .map_err(|e| CoreError::Device(e.to_string()))?;
 
-    let mut cnt = Vec::new();
-    for &lg in &gate_lengths {
-        let alpha_d = (electro.dibl(Length::from_nanometers(lg)) / 1e3).clamp(1e-3, 0.5);
-        let fet = BallisticFet::builder(Arc::new(band.clone()))
-            .threshold_voltage(0.25)
-            .alpha_drain(alpha_d)
-            .channel(Length::from_nanometers(lg), mfp)
-            .width(diameter)
-            .build()
-            .map_err(|e| CoreError::Device(e.to_string()))?;
-        let transfer = fet.transfer(
-            Voltage::from_volts(-0.3),
-            Voltage::from_volts(1.0),
-            131,
-            vdd,
-        );
-        // The paper notes the 9 nm device was normalized at 10× higher
-        // off-current (its measurement floor).
-        let i_off_target = if lg <= 9.0 {
-            10.0 * I_OFF_TARGET_A_PER_M
-        } else {
-            I_OFF_TARGET_A_PER_M
-        } * diameter.meters();
-        let ion = normalized_on_current(&transfer, i_off_target, vdd)?;
-        cnt.push(CntPoint {
-            gate_length_nm: lg,
-            ballisticity: fet.ballisticity(),
-            ion_ua_per_um: ion / diameter.meters() * 1e6 / 1e6, // A/m = µA/µm
-        });
-    }
+    // Each gate length is an independent 131-point transfer sweep;
+    // fan the ladder out on the runtime executor.
+    let cnt: Vec<CntPoint> =
+        carbon_runtime::par_map(gate_lengths.len(), |k| -> Result<CntPoint, CoreError> {
+            let lg = gate_lengths[k];
+            let alpha_d = (electro.dibl(Length::from_nanometers(lg)) / 1e3).clamp(1e-3, 0.5);
+            let fet = BallisticFet::builder(Arc::new(band.clone()))
+                .threshold_voltage(0.25)
+                .alpha_drain(alpha_d)
+                .channel(Length::from_nanometers(lg), mfp)
+                .width(diameter)
+                .build()
+                .map_err(|e| CoreError::Device(e.to_string()))?;
+            let transfer = fet.transfer(
+                Voltage::from_volts(-0.3),
+                Voltage::from_volts(1.0),
+                131,
+                vdd,
+            );
+            // The paper notes the 9 nm device was normalized at 10× higher
+            // off-current (its measurement floor).
+            let i_off_target = if lg <= 9.0 {
+                10.0 * I_OFF_TARGET_A_PER_M
+            } else {
+                I_OFF_TARGET_A_PER_M
+            } * diameter.meters();
+            let ion = normalized_on_current(&transfer, i_off_target, vdd)?;
+            Ok(CntPoint {
+                gate_length_nm: lg,
+                ballisticity: fet.ballisticity(),
+                ion_ua_per_um: ion / diameter.meters() * 1e6 / 1e6, // A/m = µA/µm
+            })
+        })
+        .into_iter()
+        .collect::<Result<_, CoreError>>()?;
 
     let references = all_reference_series();
     // CNT advantage at every reference gate length we bracket.

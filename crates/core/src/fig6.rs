@@ -55,11 +55,8 @@ pub fn run() -> Result<Fig6, CoreError> {
     let on_density_ma_per_um = Current::from_amperes(i_on)
         .per_width(width)
         .milliamps_per_micron();
-    let forward_gate_insensitive = tfet.forward_is_gate_insensitive(
-        Voltage::from_volts(-1.0),
-        Voltage::from_volts(0.5),
-        1.01,
-    );
+    let forward_gate_insensitive =
+        tfet.forward_is_gate_insensitive(Voltage::from_volts(-1.0), Voltage::from_volts(0.5), 1.01);
     let on_off = reverse_transfer.on_off_ratio();
     Ok(Fig6 {
         reverse_transfer,

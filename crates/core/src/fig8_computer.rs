@@ -17,9 +17,8 @@ use std::sync::Arc;
 use carbon_devices::{BallisticFet, TableFet};
 use carbon_logic::computer::{counting_program, sorting_program, Halt, SubnegComputer};
 use carbon_logic::{Inverter, RingOscillator};
+use carbon_runtime::Xoshiro256pp;
 use carbon_units::{Capacitance, Time, Voltage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use carbon_fab::{CircuitYield, SelfAssembly, VariabilityModel, VmrProcess, WaferModel};
 
@@ -57,10 +56,9 @@ pub fn run() -> Result<Fig8Computer, CoreError> {
     let vdd = 0.5;
     let nfet_live = BallisticFet::cnt_fig1()?;
     let pfet_live = {
-        let band = carbon_band::CntBand::from_bandgap(
-            carbon_units::Energy::from_electron_volts(0.56),
-        )
-        .map_err(|e| CoreError::Device(e.to_string()))?;
+        let band =
+            carbon_band::CntBand::from_bandgap(carbon_units::Energy::from_electron_volts(0.56))
+                .map_err(|e| CoreError::Device(e.to_string()))?;
         BallisticFet::builder(Arc::new(band))
             .threshold_voltage(0.3)
             .p_type()
@@ -109,7 +107,9 @@ pub fn run() -> Result<Fig8Computer, CoreError> {
     let mut cpu = SubnegComputer::new(prog, mem, 8, osc.stage_delay)?;
     let (halt, _) = cpu.run(10_000)?;
     if halt != Halt::ProgramEnd {
-        return Err(CoreError::Extract(format!("sorting program halt: {halt:?}")));
+        return Err(CoreError::Extract(format!(
+            "sorting program halt: {halt:?}"
+        )));
     }
     let sorted = (cpu.memory()[2], cpu.memory()[3]);
 
@@ -126,7 +126,7 @@ pub fn run() -> Result<Fig8Computer, CoreError> {
             0.4,
         )
         .map_err(|e| CoreError::Device(e.to_string()))?;
-        let pop = model.sample_population(&mut StdRng::seed_from_u64(99), 20_000);
+        let pop = model.sample_population(&mut Xoshiro256pp::seed_from_u64(99), 20_000);
         // Empty sites are screened out at test time (as in the Shulaker
         // flow); what kills a shipped circuit is the metallic-short
         // fraction among *occupied* sites.
@@ -136,8 +136,7 @@ pub fn run() -> Result<Fig8Computer, CoreError> {
         } else {
             0.0
         };
-        let cy = CircuitYield::new(device_yield)
-            .map_err(|e| CoreError::Device(e.to_string()))?;
+        let cy = CircuitYield::new(device_yield).map_err(|e| CoreError::Device(e.to_string()))?;
         yield_vs_purity.push((
             purity,
             device_yield,
@@ -147,7 +146,7 @@ pub fn run() -> Result<Fig8Computer, CoreError> {
     // VMR rescue at 99 % ink: §V's imperfection-immune trick.
     let vmr = VmrProcess::shulaker();
     let out = vmr.simulate(
-        &mut StdRng::seed_from_u64(7),
+        &mut Xoshiro256pp::seed_from_u64(7),
         &SelfAssembly::park_high_density(),
         0.99,
         20_000,
@@ -164,7 +163,9 @@ pub fn run() -> Result<Fig8Computer, CoreError> {
     // A full wafer of one-bit computers.
     let wafer = WaferModel::shulaker_run();
     let wafer_expected = wafer.expected_good_dies();
-    let wafer_map = wafer.sample(&mut StdRng::seed_from_u64(2013)).to_string();
+    let wafer_map = wafer
+        .sample(&mut Xoshiro256pp::seed_from_u64(2013))
+        .to_string();
 
     Ok(Fig8Computer {
         inverter_gain,

@@ -42,7 +42,8 @@ impl Table {
             self.headers.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
     }
 
     /// Appends a row of owned strings.

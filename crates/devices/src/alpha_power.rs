@@ -72,16 +72,24 @@ impl AlphaPowerFet {
         ss_mv_per_dec: f64,
     ) -> Result<Self, BuildAlphaPowerError> {
         if !(vt.is_finite() && vt > 0.0) {
-            return Err(BuildAlphaPowerError(format!("vt must be positive, got {vt}")));
+            return Err(BuildAlphaPowerError(format!(
+                "vt must be positive, got {vt}"
+            )));
         }
         if !(1.0..=2.0).contains(&alpha) {
-            return Err(BuildAlphaPowerError(format!("alpha must be in [1, 2], got {alpha}")));
+            return Err(BuildAlphaPowerError(format!(
+                "alpha must be in [1, 2], got {alpha}"
+            )));
         }
         if !(b.is_finite() && b > 0.0 && kv.is_finite() && kv > 0.0) {
-            return Err(BuildAlphaPowerError(format!("b and kv must be positive, got {b}, {kv}")));
+            return Err(BuildAlphaPowerError(format!(
+                "b and kv must be positive, got {b}, {kv}"
+            )));
         }
         if !(lambda.is_finite() && lambda >= 0.0) {
-            return Err(BuildAlphaPowerError(format!("lambda must be ≥ 0, got {lambda}")));
+            return Err(BuildAlphaPowerError(format!(
+                "lambda must be ≥ 0, got {lambda}"
+            )));
         }
         if ss_mv_per_dec < carbon_units::consts::SS_THERMAL_LIMIT_MV_PER_DEC {
             return Err(BuildAlphaPowerError(format!(
@@ -223,7 +231,11 @@ mod tests {
             Voltage::from_volts(1.0),
         );
         // The paper's Fig. 2(a) shape: strong saturation figure.
-        assert!(o.saturation_figure() > 3.0, "figure = {}", o.saturation_figure());
+        assert!(
+            o.saturation_figure() > 3.0,
+            "figure = {}",
+            o.saturation_figure()
+        );
     }
 
     #[test]

@@ -163,8 +163,7 @@ impl BallisticFetBuilder {
     /// Ballisticity from channel length and mean free path:
     /// `b = λ/(λ + L)`.
     pub fn channel(mut self, length: Length, mean_free_path: Length) -> Self {
-        self.ballisticity =
-            mean_free_path.meters() / (mean_free_path.meters() + length.meters());
+        self.ballisticity = mean_free_path.meters() / (mean_free_path.meters() + length.meters());
         self
     }
 
@@ -198,7 +197,9 @@ impl BallisticFetBuilder {
         }
         for (name, v) in [("alpha_g", self.alpha_g), ("alpha_d", self.alpha_d)] {
             if !(v.is_finite() && v > 0.0 && v <= 1.0) {
-                return Err(BuildBallisticError(format!("{name} must be in (0, 1], got {v}")));
+                return Err(BuildBallisticError(format!(
+                    "{name} must be in (0, 1], got {v}"
+                )));
             }
         }
         if !(self.ballisticity > 0.0 && self.ballisticity <= 1.0) {
@@ -315,9 +316,8 @@ impl BallisticFet {
     /// point of the intrinsic n-type device.
     fn solve_barrier(&self, vgs: f64, vds: f64) -> f64 {
         let laplace = -self.alpha_g * vgs - self.alpha_d * vds;
-        let residual = |u: f64| {
-            u - laplace - Q_E * (self.net_density(u, vds) - self.n0) / self.c_ins
-        };
+        let residual =
+            |u: f64| u - laplace - Q_E * (self.net_density(u, vds) - self.n0) / self.c_ins;
         // Expanding bracket around the Laplace solution. The residual is
         // strictly increasing in u, so a sign change brackets the root.
         let mut half_width = 0.1;
@@ -348,7 +348,8 @@ impl BallisticFet {
         let t = self.temperature;
         let mu_s = Energy::from_electron_volts(self.ef0 - u);
         let mu_d = Energy::from_electron_volts(self.ef0 - u - vds);
-        self.ballisticity * (self.band.directed_current(mu_s, t) - self.band.directed_current(mu_d, t))
+        self.ballisticity
+            * (self.band.directed_current(mu_s, t) - self.band.directed_current(mu_d, t))
     }
 }
 
@@ -489,7 +490,10 @@ mod tests {
     fn channel_sets_ballisticity_from_mfp() {
         let band = CntBand::from_bandgap(Energy::from_electron_volts(0.56)).unwrap();
         let f = BallisticFet::builder(Arc::new(band))
-            .channel(Length::from_nanometers(100.0), Length::from_nanometers(300.0))
+            .channel(
+                Length::from_nanometers(100.0),
+                Length::from_nanometers(300.0),
+            )
             .build()
             .unwrap();
         assert!((f.ballisticity() - 0.75).abs() < 1e-12);
@@ -563,8 +567,8 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use carbon_runtime::prop::prelude::*;
     use carbon_spice::FetCurve;
-    use proptest::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]

@@ -78,24 +78,31 @@ pub trait Fet: carbon_spice::FetCurve + Send + Sync {
     /// Transfer characteristic `I_D(V_GS)` at fixed `V_DS` over a
     /// uniform grid of `n ≥ 2` points.
     ///
+    /// Bias points are independent, so the grid is evaluated on the
+    /// runtime executor (identical results at any thread count; runs
+    /// inline when called from inside another parallel region).
+    ///
     /// # Panics
     ///
     /// Panics if `n < 2`.
     fn transfer(&self, vgs_from: Voltage, vgs_to: Voltage, n: usize, vds: Voltage) -> IvCurve {
         let grid = carbon_band::math::linspace(vgs_from.volts(), vgs_to.volts(), n);
-        let current = grid.iter().map(|&vg| self.ids(vg, vds.volts())).collect();
+        let current = carbon_runtime::par_map(grid.len(), |k| self.ids(grid[k], vds.volts()));
         IvCurve::new(grid, current)
     }
 
     /// Output characteristic `I_D(V_DS)` at fixed `V_GS` over a uniform
     /// grid of `n ≥ 2` points.
     ///
+    /// Evaluated on the runtime executor, like
+    /// [`transfer`](Self::transfer).
+    ///
     /// # Panics
     ///
     /// Panics if `n < 2`.
     fn output(&self, vds_from: Voltage, vds_to: Voltage, n: usize, vgs: Voltage) -> IvCurve {
         let grid = carbon_band::math::linspace(vds_from.volts(), vds_to.volts(), n);
-        let current = grid.iter().map(|&vd| self.ids(vgs.volts(), vd)).collect();
+        let current = carbon_runtime::par_map(grid.len(), |k| self.ids(vgs.volts(), grid[k]));
         IvCurve::new(grid, current)
     }
 }

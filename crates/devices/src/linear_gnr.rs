@@ -82,7 +82,9 @@ impl LinearGnrFet {
         v_crit: f64,
     ) -> Result<Self, BuildLinearGnrError> {
         if !(g_on.is_finite() && g_on > 0.0) {
-            return Err(BuildLinearGnrError(format!("g_on must be positive, got {g_on}")));
+            return Err(BuildLinearGnrError(format!(
+                "g_on must be positive, got {g_on}"
+            )));
         }
         if !(v_on.is_finite() && v_on > 0.0 && v_crit.is_finite() && v_crit > 0.0) {
             return Err(BuildLinearGnrError(format!(
@@ -238,7 +240,11 @@ mod tests {
             101,
             Voltage::from_volts(1.0),
         );
-        assert!(o.saturation_figure() < 1.8, "figure = {}", o.saturation_figure());
+        assert!(
+            o.saturation_figure() < 1.8,
+            "figure = {}",
+            o.saturation_figure()
+        );
     }
 
     #[test]
@@ -253,7 +259,11 @@ mod tests {
             161,
             Voltage::from_volts(1.0),
         );
-        assert!(wide.saturation_figure() > 2.0, "figure = {}", wide.saturation_figure());
+        assert!(
+            wide.saturation_figure() > 2.0,
+            "figure = {}",
+            wide.saturation_figure()
+        );
     }
 
     #[test]

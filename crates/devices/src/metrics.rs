@@ -92,7 +92,9 @@ impl IvCurve {
     /// needed or never crosses `target`.
     pub fn bias_at_current(&self, target: f64) -> Result<f64, ExtractError> {
         if target <= 0.0 {
-            return Err(ExtractError(format!("target current must be positive, got {target}")));
+            return Err(ExtractError(format!(
+                "target current must be positive, got {target}"
+            )));
         }
         for k in 1..self.len() {
             let (i0, i1) = (self.current[k - 1], self.current[k]);
@@ -153,7 +155,9 @@ impl IvCurve {
             }
         }
         best.ok_or_else(|| {
-            ExtractError(format!("no adjacent samples span a current ratio of {min_ratio}"))
+            ExtractError(format!(
+                "no adjacent samples span a current ratio of {min_ratio}"
+            ))
         })
     }
 
@@ -185,8 +189,7 @@ impl IvCurve {
     pub fn saturation_figure(&self) -> f64 {
         let n = self.len();
         let k = (n / 5).max(1);
-        let g_head = (self.current[k] - self.current[0])
-            / (self.bias[k] - self.bias[0]);
+        let g_head = (self.current[k] - self.current[0]) / (self.bias[k] - self.bias[0]);
         let g_tail = (self.current[n - 1] - self.current[n - 1 - k])
             / (self.bias[n - 1] - self.bias[n - 1 - k]);
         if g_tail.abs() < 1e-30 {
@@ -255,12 +258,8 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(std::panic::catch_unwind(|| IvCurve::new(vec![0.0], vec![1.0])).is_err());
-        assert!(
-            std::panic::catch_unwind(|| IvCurve::new(vec![0.0, 0.0], vec![1.0, 2.0])).is_err()
-        );
-        assert!(
-            std::panic::catch_unwind(|| IvCurve::new(vec![0.0, 1.0], vec![1.0])).is_err()
-        );
+        assert!(std::panic::catch_unwind(|| IvCurve::new(vec![0.0, 0.0], vec![1.0, 2.0])).is_err());
+        assert!(std::panic::catch_unwind(|| IvCurve::new(vec![0.0, 1.0], vec![1.0])).is_err());
     }
 
     #[test]

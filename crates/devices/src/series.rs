@@ -150,9 +150,18 @@ pub fn cnt_contact_resistance(
     rc_long: Resistance,
     transfer_length: Length,
 ) -> Resistance {
-    assert!(contact_length.meters() > 0.0, "contact length must be positive");
-    assert!(transfer_length.meters() > 0.0, "transfer length must be positive");
-    assert!(rc_long.ohms() > 0.0, "long-contact resistance must be positive");
+    assert!(
+        contact_length.meters() > 0.0,
+        "contact length must be positive"
+    );
+    assert!(
+        transfer_length.meters() > 0.0,
+        "transfer length must be positive"
+    );
+    assert!(
+        rc_long.ohms() > 0.0,
+        "long-contact resistance must be positive"
+    );
     let x = contact_length.meters() / transfer_length.meters();
     Resistance::from_ohms(rc_long.ohms() / x.tanh())
 }
@@ -291,8 +300,15 @@ mod tests {
             Resistance::from_kilohms(2.3),
             Length::from_nanometers(20.0),
         );
-        assert!((long.kilohms() - 2.3).abs() < 0.01, "long contact saturates");
-        assert!(short.kilohms() > 4.0, "short contact degrades: {}", short.kilohms());
+        assert!(
+            (long.kilohms() - 2.3).abs() < 0.01,
+            "long contact saturates"
+        );
+        assert!(
+            short.kilohms() > 4.0,
+            "short contact degrades: {}",
+            short.kilohms()
+        );
     }
 
     #[test]
@@ -317,7 +333,10 @@ mod tests {
         let r0 = schottky_contact_resistance(Energy::ZERO, t);
         assert!((r0.ohms() - R_QUANTUM_CNT / 2.0).abs() < 1.0, "ohmic limit");
         let r60 = schottky_contact_resistance(Energy::from_electron_volts(0.0596), t);
-        assert!((r60.ohms() / r0.ohms() - 10.0).abs() < 0.5, "decade per 60 meV");
+        assert!(
+            (r60.ohms() / r0.ohms() - 10.0).abs() < 0.5,
+            "decade per 60 meV"
+        );
         let r300 = schottky_contact_resistance(Energy::from_electron_volts(0.3), t);
         assert!(r300.kilohms() > 1e5, "a 0.3 eV barrier is catastrophic");
     }

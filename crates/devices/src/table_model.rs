@@ -77,14 +77,14 @@ impl TableFet {
                 "need at least 4 grid points per axis, got {n_vgs}×{n_vds}"
             )));
         }
-        let mut data = Vec::with_capacity(n_vgs * n_vds);
-        for i in 0..n_vgs {
+        // Each grid node is an independent (often expensive) model
+        // evaluation — fan the grid out on the runtime executor.
+        let data = carbon_runtime::par_map(n_vgs * n_vds, |k| {
+            let (i, j) = (k / n_vds, k % n_vds);
             let vgs = vgs_lo + (vgs_hi - vgs_lo) * i as f64 / (n_vgs - 1) as f64;
-            for j in 0..n_vds {
-                let vds = vds_lo + (vds_hi - vds_lo) * j as f64 / (n_vds - 1) as f64;
-                data.push(inner.ids(vgs, vds));
-            }
-        }
+            let vds = vds_lo + (vds_hi - vds_lo) * j as f64 / (n_vds - 1) as f64;
+            inner.ids(vgs, vds)
+        });
         Ok(Self {
             vgs_lo,
             vgs_hi,
@@ -102,11 +102,9 @@ impl TableFet {
     fn lookup(&self, vgs: f64, vds: f64) -> f64 {
         // Clamp into the sampled window (flat extrapolation — circuits
         // excursion slightly past the rails during Newton iterations).
-        let x = ((vgs - self.vgs_lo) / (self.vgs_hi - self.vgs_lo)
-            * (self.n_vgs - 1) as f64)
+        let x = ((vgs - self.vgs_lo) / (self.vgs_hi - self.vgs_lo) * (self.n_vgs - 1) as f64)
             .clamp(0.0, (self.n_vgs - 1) as f64);
-        let y = ((vds - self.vds_lo) / (self.vds_hi - self.vds_lo)
-            * (self.n_vds - 1) as f64)
+        let y = ((vds - self.vds_lo) / (self.vds_hi - self.vds_lo) * (self.n_vds - 1) as f64)
             .clamp(0.0, (self.n_vds - 1) as f64);
         let i0 = (x.floor() as usize).min(self.n_vgs - 2);
         let j0 = (y.floor() as usize).min(self.n_vds - 2);

@@ -101,7 +101,10 @@ impl CntTfet {
     ///
     /// Panics unless `gate_eff` is in `(0, 1]`.
     pub fn with_gate_efficiency(mut self, gate_eff: f64) -> Self {
-        assert!(gate_eff > 0.0 && gate_eff <= 1.0, "gate efficiency must be in (0, 1]");
+        assert!(
+            gate_eff > 0.0 && gate_eff <= 1.0,
+            "gate efficiency must be in (0, 1]"
+        );
         self.gate_eff = gate_eff;
         self
     }
@@ -154,7 +157,10 @@ impl CntTfet {
         n: usize,
         vd: Voltage,
     ) -> crate::IvCurve {
-        assert!(vd.volts() < 0.0, "reverse branch needs a negative drain bias");
+        assert!(
+            vd.volts() < 0.0,
+            "reverse branch needs a negative drain bias"
+        );
         let grid = carbon_band::math::linspace(vg_from.volts(), vg_to.volts(), n);
         let current = grid
             .iter()
@@ -298,6 +304,10 @@ mod tests {
         let t = CntTfet::fig6();
         let shallow = t.ids(-0.8, -0.2).abs();
         let deep = t.ids(-0.8, -0.6).abs();
-        assert!((deep / shallow - 1.0).abs() < 0.05, "bias-saturated: {}", deep / shallow);
+        assert!(
+            (deep / shallow - 1.0).abs() < 0.05,
+            "bias-saturated: {}",
+            deep / shallow
+        );
     }
 }

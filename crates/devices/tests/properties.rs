@@ -3,12 +3,10 @@
 
 use std::sync::Arc;
 
-use carbon_devices::{
-    AlphaPowerFet, CntTfet, Fet, IvCurve, LinearGnrFet, SeriesResistance, TableFet,
-};
+use carbon_devices::{AlphaPowerFet, CntTfet, IvCurve, LinearGnrFet, SeriesResistance, TableFet};
+use carbon_runtime::prop::prelude::*;
 use carbon_spice::FetCurve;
 use carbon_units::{Resistance, Voltage};
-use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

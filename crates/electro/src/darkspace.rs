@@ -147,9 +147,7 @@ impl DarkSpaceModel {
     /// Dark-space contribution to CET: the centroid depth re-expressed as
     /// equivalent SiO₂ thickness, `(ε_SiO₂/ε_ch)·z_dark`.
     pub fn darkspace_cet(&self) -> Length {
-        Length::from_meters(
-            EPS_R_SIO2 / self.material.eps_r * self.material.dark_space.meters(),
-        )
+        Length::from_meters(EPS_R_SIO2 / self.material.eps_r * self.material.dark_space.meters())
     }
 
     /// Quantum-capacitance contribution to CET:
@@ -200,7 +198,12 @@ mod tests {
         let si = DarkSpaceModel::new(ChannelMaterial::silicon()).cet_inversion(eot);
         let inas = DarkSpaceModel::new(ChannelMaterial::inas()).cet_inversion(eot);
         let ingaas = DarkSpaceModel::new(ChannelMaterial::ingaas()).cet_inversion(eot);
-        assert!(inas > si, "InAs CET {} < Si {}", inas.nanometers(), si.nanometers());
+        assert!(
+            inas > si,
+            "InAs CET {} < Si {}",
+            inas.nanometers(),
+            si.nanometers()
+        );
         assert!(ingaas > si);
     }
 
@@ -209,7 +212,12 @@ mod tests {
         let eot = Length::from_nanometers(0.7);
         let si = DarkSpaceModel::new(ChannelMaterial::silicon()).cet_inversion(eot);
         let cnt = DarkSpaceModel::new(ChannelMaterial::cnt()).cet_inversion(eot);
-        assert!(cnt < si, "CNT CET {} ≥ Si {}", cnt.nanometers(), si.nanometers());
+        assert!(
+            cnt < si,
+            "CNT CET {} ≥ Si {}",
+            cnt.nanometers(),
+            si.nanometers()
+        );
     }
 
     #[test]

@@ -262,7 +262,10 @@ mod tests {
         let d1 = m.dibl(Length::from_nanometers(10.0));
         let d2 = m.dibl(Length::from_nanometers(20.0));
         let d3 = m.dibl(Length::from_nanometers(30.0));
-        assert!((d1 / d2 - d2 / d3).abs() / (d1 / d2) < 1e-9, "log-linear decay");
+        assert!(
+            (d1 / d2 - d2 / d3).abs() / (d1 / d2) < 1e-9,
+            "log-linear decay"
+        );
         assert!(d1 > d2 && d2 > d3);
     }
 
@@ -296,7 +299,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use carbon_runtime::prop::prelude::*;
 
     proptest! {
         #[test]

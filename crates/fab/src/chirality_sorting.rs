@@ -9,7 +9,7 @@
 //! non-selective leakage floor.
 
 use carbon_band::chirality::Chirality;
-use rand::Rng;
+use carbon_runtime::Rng;
 
 /// A single-chirality separation stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,7 +93,7 @@ impl ChiralitySeparation {
         batch
             .iter()
             .copied()
-            .filter(|&c| rng.gen::<f64>() < self.retention(c))
+            .filter(|&c| rng.next_f64() < self.retention(c))
             .collect()
     }
 
@@ -110,8 +110,7 @@ impl ChiralitySeparation {
 mod tests {
     use super::*;
     use crate::synthesis::SynthesisRecipe;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use carbon_runtime::Xoshiro256pp;
 
     fn target() -> Chirality {
         Chirality::new(13, 0).expect("valid index")
@@ -130,7 +129,7 @@ mod tests {
 
     #[test]
     fn repeated_passes_enrich_toward_single_chirality() {
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
         // Narrow recipe centred on the target diameter.
         let recipe = SynthesisRecipe::new(
             target().diameter(),
@@ -157,7 +156,7 @@ mod tests {
 
     #[test]
     fn yield_falls_as_purity_rises() {
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
         let recipe = SynthesisRecipe::arc_discharge();
         let sep = ChiralitySeparation::dna_grade(target()).unwrap();
         let batch = recipe.sample_batch(&mut rng, 10_000);

@@ -22,7 +22,7 @@
 //! * [`yield_model`] — from device statistics to gate and circuit yield,
 //!   including what it takes to build the §V one-bit computer.
 //!
-//! All sampling is deterministic given a seed (`rand::SeedableRng`), so
+//! All sampling is deterministic given a seed (`carbon_runtime::Xoshiro256pp`), so
 //! the experiment tables in `carbon-core` are reproducible.
 
 #![deny(missing_docs)]

@@ -11,8 +11,7 @@
 //!   number of tubes, giving the empty/single/multiple site statistics
 //!   that set device yield before any electrical consideration.
 
-use rand::Rng;
-use rand_distr::{Distribution, Normal, Poisson};
+use carbon_runtime::{Distribution, Normal, Poisson, Rng};
 
 /// Aligned CVD growth on quartz.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,7 +153,9 @@ impl SelfAssembly {
 
     /// Samples the tube count of one site.
     pub fn sample_site<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        Poisson::new(self.lambda).expect("positive lambda").sample(rng) as usize
+        Poisson::new(self.lambda)
+            .expect("positive lambda")
+            .sample(rng) as usize
     }
 
     /// Samples `n` sites and returns the empirical occupancy.
@@ -175,8 +176,7 @@ impl SelfAssembly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use carbon_runtime::Xoshiro256pp;
 
     #[test]
     fn quartz_growth_is_well_aligned() {
@@ -188,8 +188,10 @@ mod tests {
     #[test]
     fn sampled_tube_counts_follow_density() {
         let g = AlignedGrowth::quartz_st_cut();
-        let mut rng = StdRng::seed_from_u64(11);
-        let total: usize = (0..2000).map(|_| g.sample_device(&mut rng, 1.0).len()).sum();
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let total: usize = (0..2000)
+            .map(|_| g.sample_device(&mut rng, 1.0).len())
+            .sum();
         let mean = total as f64 / 2000.0;
         assert!((mean - 5.0).abs() < 0.3, "mean tubes {mean}");
     }
@@ -213,7 +215,7 @@ mod tests {
     #[test]
     fn empirical_occupancy_converges_to_analytic() {
         let a = SelfAssembly::new(1.0).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let emp = a.sample_array(&mut rng, 20_000);
         let ana = a.occupancy();
         assert!((emp.empty - ana.empty).abs() < 0.02);

@@ -102,7 +102,10 @@ impl SortingProcess {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn enrich(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "purity must be a fraction, got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "purity must be a fraction, got {p}"
+        );
         let s = self.selectivity;
         s * p / (s * p + (1.0 - s) * (1.0 - p))
     }

@@ -8,9 +8,8 @@
 //! random: about one third of as-grown tubes are metallic.
 
 use carbon_band::chirality::Chirality;
+use carbon_runtime::{Distribution, Normal, Rng};
 use carbon_units::Length;
-use rand::Rng;
-use rand_distr::{Distribution, Normal};
 
 /// A growth recipe characterized by its diameter distribution.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,15 +72,18 @@ impl SynthesisRecipe {
     /// distribution, then a uniformly random chirality among those
     /// within half a lattice constant of that diameter.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Chirality {
-        let normal = Normal::new(self.d_mean.nanometers(), self.d_sigma.nanometers().max(1e-6))
-            .expect("validated parameters");
+        let normal = Normal::new(
+            self.d_mean.nanometers(),
+            self.d_sigma.nanometers().max(1e-6),
+        )
+        .expect("validated parameters");
         for _ in 0..64 {
             let d = normal.sample(rng).clamp(0.4, 4.5);
             let lo = Length::from_nanometers((d - 0.08).max(0.3));
             let hi = Length::from_nanometers(d + 0.08);
             let candidates = Chirality::in_diameter_range(lo, hi);
             if !candidates.is_empty() {
-                let k = rng.gen_range(0..candidates.len());
+                let k = rng.gen_range_usize(0..candidates.len());
                 return candidates[k];
             }
         }
@@ -107,44 +109,37 @@ impl SynthesisRecipe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use carbon_runtime::Xoshiro256pp;
 
     #[test]
     fn recipe_validation() {
-        assert!(SynthesisRecipe::new(
-            Length::from_nanometers(0.2),
-            Length::from_nanometers(0.1)
-        )
-        .is_err());
-        assert!(SynthesisRecipe::new(
-            Length::from_nanometers(1.0),
-            Length::from_nanometers(-0.1)
-        )
-        .is_err());
-        assert!(SynthesisRecipe::new(
-            Length::from_nanometers(1.0),
-            Length::from_nanometers(0.0)
-        )
-        .is_ok());
+        assert!(
+            SynthesisRecipe::new(Length::from_nanometers(0.2), Length::from_nanometers(0.1))
+                .is_err()
+        );
+        assert!(
+            SynthesisRecipe::new(Length::from_nanometers(1.0), Length::from_nanometers(-0.1))
+                .is_err()
+        );
+        assert!(
+            SynthesisRecipe::new(Length::from_nanometers(1.0), Length::from_nanometers(0.0))
+                .is_ok()
+        );
     }
 
     #[test]
     fn sampled_diameters_track_the_recipe() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let recipe = SynthesisRecipe::arc_discharge();
         let batch = recipe.sample_batch(&mut rng, 2000);
-        let mean_d = batch
-            .iter()
-            .map(|c| c.diameter().nanometers())
-            .sum::<f64>()
-            / batch.len() as f64;
+        let mean_d =
+            batch.iter().map(|c| c.diameter().nanometers()).sum::<f64>() / batch.len() as f64;
         assert!((mean_d - 1.4).abs() < 0.1, "mean d = {mean_d} nm");
     }
 
     #[test]
     fn one_third_of_as_grown_tubes_are_metallic() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let recipe = SynthesisRecipe::arc_discharge();
         let batch = recipe.sample_batch(&mut rng, 4000);
         let frac = SynthesisRecipe::semiconducting_fraction(&batch);
@@ -157,25 +152,20 @@ mod tests {
     #[test]
     fn sampling_is_seed_deterministic() {
         let recipe = SynthesisRecipe::comocat();
-        let a = recipe.sample_batch(&mut StdRng::seed_from_u64(1), 50);
-        let b = recipe.sample_batch(&mut StdRng::seed_from_u64(1), 50);
+        let a = recipe.sample_batch(&mut Xoshiro256pp::seed_from_u64(1), 50);
+        let b = recipe.sample_batch(&mut Xoshiro256pp::seed_from_u64(1), 50);
         assert_eq!(a, b);
     }
 
     #[test]
     fn narrow_recipe_gives_narrow_bandgap_spread() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let narrow = SynthesisRecipe::new(
-            Length::from_nanometers(1.4),
-            Length::from_nanometers(0.05),
-        )
-        .unwrap();
-        let wide = SynthesisRecipe::new(
-            Length::from_nanometers(1.4),
-            Length::from_nanometers(0.4),
-        )
-        .unwrap();
-        let spread = |r: &SynthesisRecipe, rng: &mut StdRng| {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let narrow =
+            SynthesisRecipe::new(Length::from_nanometers(1.4), Length::from_nanometers(0.05))
+                .unwrap();
+        let wide = SynthesisRecipe::new(Length::from_nanometers(1.4), Length::from_nanometers(0.4))
+            .unwrap();
+        let spread = |r: &SynthesisRecipe, rng: &mut Xoshiro256pp| {
             let gaps: Vec<f64> = r
                 .sample_batch(rng, 1500)
                 .into_iter()

@@ -13,8 +13,7 @@
 //! * **functional** — only semiconducting tubes: threshold voltage and
 //!   on-current are drawn with process dispersion.
 
-use rand::Rng;
-use rand_distr::{Distribution, LogNormal, Normal};
+use carbon_runtime::{Distribution, Executor, LogNormal, Normal, Rng};
 
 use crate::placement::SelfAssembly;
 use crate::stats;
@@ -122,15 +121,15 @@ impl VariabilityModel {
         if tubes == 0 {
             return DeviceOutcome::Empty;
         }
-        let metallic = (0..tubes).any(|_| rng.gen::<f64>() > self.purity);
+        let metallic = (0..tubes).any(|_| rng.next_f64() > self.purity);
         if metallic {
             return DeviceOutcome::MetallicShort;
         }
         let vt = Normal::new(self.vt_mean, self.vt_sigma.max(1e-12))
             .expect("validated")
             .sample(rng);
-        let per_tube = LogNormal::new(self.ion_median.ln(), self.ion_sigma_ln.max(1e-12))
-            .expect("validated");
+        let per_tube =
+            LogNormal::new(self.ion_median.ln(), self.ion_sigma_ln.max(1e-12)).expect("validated");
         let ion: f64 = (0..tubes).map(|_| per_tube.sample(rng)).sum();
         // On/off set by how far Vt sits above the off bias, ~1 decade
         // per 90 mV of margin plus device-to-device scatter.
@@ -143,6 +142,26 @@ impl VariabilityModel {
     pub fn sample_population<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> DevicePopulation {
         DevicePopulation {
             outcomes: (0..n).map(|_| self.sample_device(rng)).collect(),
+        }
+    }
+
+    /// Samples a whole array in parallel from a seed.
+    ///
+    /// Runs on the runtime executor's deterministic chunked schedule:
+    /// the result is bit-identical to itself at every thread count
+    /// (though not to the sequential [`sample_population`] draw order,
+    /// since each chunk owns an independent RNG stream).
+    ///
+    /// [`sample_population`]: Self::sample_population
+    pub fn sample_population_par(&self, seed: u64, n: usize) -> DevicePopulation {
+        self.sample_population_with(&Executor::new(), seed, n)
+    }
+
+    /// Samples a whole array on an explicit executor (for pinning the
+    /// thread count, e.g. in determinism tests).
+    pub fn sample_population_with(&self, ex: &Executor, seed: u64, n: usize) -> DevicePopulation {
+        DevicePopulation {
+            outcomes: ex.par_mc(seed, n, |_, rng| self.sample_device(rng)),
         }
     }
 }
@@ -243,11 +262,11 @@ impl DevicePopulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use carbon_runtime::{Executor, Xoshiro256pp};
 
     fn population(n: usize, seed: u64) -> DevicePopulation {
-        VariabilityModel::park_experiment().sample_population(&mut StdRng::seed_from_u64(seed), n)
+        VariabilityModel::park_experiment()
+            .sample_population(&mut Xoshiro256pp::seed_from_u64(seed), n)
     }
 
     #[test]
@@ -255,7 +274,11 @@ mod tests {
         // The §V headline: measure >10,000 devices and do statistics.
         let pop = population(10_000, 1);
         assert_eq!(pop.len(), 10_000);
-        assert!(pop.functional_yield() > 0.5, "yield {}", pop.functional_yield());
+        assert!(
+            pop.functional_yield() > 0.5,
+            "yield {}",
+            pop.functional_yield()
+        );
         let (vt_mean, vt_std) = pop.vt_statistics();
         assert!((vt_mean - 0.35).abs() < 0.01, "Vt mean {vt_mean}");
         assert!((vt_std - 0.07).abs() < 0.01, "Vt sigma {vt_std}");
@@ -266,12 +289,15 @@ mod tests {
         let pop = population(5000, 2);
         let sum = pop.functional_yield() + pop.short_fraction() + pop.empty_fraction();
         assert!((sum - 1.0).abs() < 1e-12);
-        assert!((pop.empty_fraction() - 0.10).abs() < 0.02, "Poisson empties");
+        assert!(
+            (pop.empty_fraction() - 0.10).abs() < 0.02,
+            "Poisson empties"
+        );
     }
 
     #[test]
     fn purity_controls_shorts() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let dirty = VariabilityModel::new(
             SelfAssembly::park_high_density(),
             0.67,
@@ -298,7 +324,10 @@ mod tests {
         assert!(ion.iter().all(|&i| i > 0.0));
         let mean = stats::mean(&ion);
         let median = stats::percentile(&ion, 50.0);
-        assert!(mean > median, "log-normal + multi-tube skew: {mean} vs {median}");
+        assert!(
+            mean > median,
+            "log-normal + multi-tube skew: {mean} vs {median}"
+        );
     }
 
     #[test]
@@ -316,6 +345,34 @@ mod tests {
         let a = population(100, 9);
         let b = population(100, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_population_is_thread_count_invariant() {
+        let model = VariabilityModel::park_experiment();
+        let reference = model.sample_population_with(&Executor::with_threads(1), 2014, 4000);
+        for threads in [2, 4] {
+            let pop = model.sample_population_with(&Executor::with_threads(threads), 2014, 4000);
+            assert_eq!(pop, reference, "divergence at {threads} threads");
+        }
+        // And the public seeded entry point matches the same contract.
+        assert_eq!(
+            model.sample_population_par(2014, 4000).vt_statistics(),
+            reference.vt_statistics()
+        );
+    }
+
+    #[test]
+    fn parallel_population_statistics_match_sequential() {
+        // Different draw order than the sequential path, but the same
+        // model: summary statistics must agree within Monte-Carlo noise.
+        let par = VariabilityModel::park_experiment().sample_population_par(11, 10_000);
+        let seq = population(10_000, 11);
+        assert!((par.functional_yield() - seq.functional_yield()).abs() < 0.02);
+        let (pm, ps) = par.vt_statistics();
+        let (sm, ss) = seq.vt_statistics();
+        assert!((pm - sm).abs() < 0.01, "means {pm} vs {sm}");
+        assert!((ps - ss).abs() < 0.01, "sigmas {ps} vs {ss}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! step as a per-tube stochastic process and quantifies how much device
 //! yield it buys back from imperfect ink purity.
 
-use rand::Rng;
+use carbon_runtime::Rng;
 
 use crate::placement::SelfAssembly;
 
@@ -60,7 +60,9 @@ impl VmrProcess {
             ("collateral damage", collateral_damage),
         ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(BuildVmrError(format!("{name} must be a probability, got {p}")));
+                return Err(BuildVmrError(format!(
+                    "{name} must be a probability, got {p}"
+                )));
             }
         }
         Ok(Self {
@@ -100,17 +102,17 @@ impl VmrProcess {
             if tubes == 0 {
                 continue;
             }
-            let metallic: Vec<bool> = (0..tubes).map(|_| rng.gen::<f64>() > purity).collect();
+            let metallic: Vec<bool> = (0..tubes).map(|_| rng.next_f64() > purity).collect();
             let m_before = metallic.iter().filter(|&&m| m).count();
             let s_before = tubes - m_before;
             if m_before > 0 {
                 // Only shorted devices receive the breakdown pulse.
                 shorts_before += 1;
                 let m_after = (0..m_before)
-                    .filter(|_| rng.gen::<f64>() > self.removal_efficiency)
+                    .filter(|_| rng.next_f64() > self.removal_efficiency)
                     .count();
                 let s_after = (0..s_before)
-                    .filter(|_| rng.gen::<f64>() > self.collateral_damage)
+                    .filter(|_| rng.next_f64() > self.collateral_damage)
                     .count();
                 if m_after > 0 {
                     shorts_after += 1;
@@ -136,12 +138,11 @@ impl VmrProcess {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use carbon_runtime::Xoshiro256pp;
 
     fn outcome(purity: f64, seed: u64) -> VmrOutcome {
         VmrProcess::shulaker().simulate(
-            &mut StdRng::seed_from_u64(seed),
+            &mut Xoshiro256pp::seed_from_u64(seed),
             &SelfAssembly::park_high_density(),
             purity,
             20_000,
@@ -166,7 +167,11 @@ mod tests {
         // The Shulaker point: with VMR, even 2/3-pure as-grown tubes can
         // build working (if slower) circuits.
         let o = outcome(0.67, 2);
-        assert!(o.shorts_before > 0.4, "most sites shorted: {}", o.shorts_before);
+        assert!(
+            o.shorts_before > 0.4,
+            "most sites shorted: {}",
+            o.shorts_before
+        );
         assert!(o.shorts_after < 0.01, "after VMR: {}", o.shorts_after);
         assert!(
             o.functional_after > 0.55,
@@ -180,8 +185,8 @@ mod tests {
         let gentle = VmrProcess::new(0.9999, 0.0).unwrap();
         let harsh = VmrProcess::new(0.9999, 0.5).unwrap();
         let asm = SelfAssembly::park_high_density();
-        let g = gentle.simulate(&mut StdRng::seed_from_u64(3), &asm, 0.8, 20_000);
-        let h = harsh.simulate(&mut StdRng::seed_from_u64(3), &asm, 0.8, 20_000);
+        let g = gentle.simulate(&mut Xoshiro256pp::seed_from_u64(3), &asm, 0.8, 20_000);
+        let h = harsh.simulate(&mut Xoshiro256pp::seed_from_u64(3), &asm, 0.8, 20_000);
         assert!(g.functional_after > h.functional_after);
     }
 
@@ -197,7 +202,7 @@ mod tests {
     fn zero_efficiency_changes_nothing_for_shorts() {
         let off = VmrProcess::new(0.0, 0.0).unwrap();
         let o = off.simulate(
-            &mut StdRng::seed_from_u64(5),
+            &mut Xoshiro256pp::seed_from_u64(5),
             &SelfAssembly::park_high_density(),
             0.9,
             20_000,

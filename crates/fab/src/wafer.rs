@@ -9,7 +9,7 @@
 //! with the ink purity degrading radially (edge effects are where real
 //! wafer processes die first).
 
-use rand::Rng;
+use carbon_runtime::Rng;
 
 /// A wafer-level yield model.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,9 +66,14 @@ impl WaferModel {
                 "wafer needs at least 3 dies across, got {dies_across}"
             )));
         }
-        for (name, p) in [("centre purity", centre_purity), ("edge purity", edge_purity)] {
+        for (name, p) in [
+            ("centre purity", centre_purity),
+            ("edge purity", edge_purity),
+        ] {
             if !(0.0..=1.0).contains(&p) {
-                return Err(BuildWaferError(format!("{name} must be in [0, 1], got {p}")));
+                return Err(BuildWaferError(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
             }
         }
         if edge_purity > centre_purity {
@@ -77,7 +82,9 @@ impl WaferModel {
             ));
         }
         if devices_per_die == 0 {
-            return Err(BuildWaferError("a die needs at least one device".to_owned()));
+            return Err(BuildWaferError(
+                "a die needs at least one device".to_owned(),
+            ));
         }
         if !(lambda.is_finite() && lambda > 0.0) {
             return Err(BuildWaferError(format!("λ must be positive, got {lambda}")));
@@ -138,7 +145,7 @@ impl WaferModel {
         let n = self.dies_across;
         let mut dies = vec![None; n * n];
         for (ix, iy, r) in self.die_coords() {
-            let works = rng.gen::<f64>() < self.die_yield_at(r);
+            let works = rng.next_f64() < self.die_yield_at(r);
             dies[iy * n + ix] = Some(works);
         }
         WaferSample {
@@ -170,10 +177,7 @@ impl WaferModel {
 impl WaferSample {
     /// Number of working dies.
     pub fn good_dies(&self) -> usize {
-        self.dies
-            .iter()
-            .filter(|d| matches!(d, Some(true)))
-            .count()
+        self.dies.iter().filter(|d| matches!(d, Some(true))).count()
     }
 
     /// Number of dies on the wafer.
@@ -210,8 +214,7 @@ impl std::fmt::Display for WaferSample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use carbon_runtime::Xoshiro256pp;
 
     #[test]
     fn centre_outyields_edge() {
@@ -232,7 +235,7 @@ mod tests {
             "several working computers expected: {expected:.1} of {}",
             w.die_count()
         );
-        let sample = w.sample(&mut StdRng::seed_from_u64(7));
+        let sample = w.sample(&mut Xoshiro256pp::seed_from_u64(7));
         assert!(sample.good_dies() > 3, "sampled {}", sample.good_dies());
     }
 
@@ -240,7 +243,7 @@ mod tests {
     fn sample_tracks_expectation() {
         let w = WaferModel::shulaker_run();
         let mut total = 0usize;
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         let runs = 200;
         for _ in 0..runs {
             total += w.sample(&mut rng).good_dies();
@@ -257,14 +260,17 @@ mod tests {
     fn device_yield_formula_limits() {
         let w = WaferModel::shulaker_run();
         assert!((w.device_yield(1.0) - 1.0).abs() < 1e-12);
-        assert!(w.device_yield(0.0) < 0.12, "some single-tube survivors only");
+        assert!(
+            w.device_yield(0.0) < 0.12,
+            "some single-tube survivors only"
+        );
         assert!(w.device_yield(0.999) > w.device_yield(0.99));
     }
 
     #[test]
     fn map_renders_a_circle() {
         let w = WaferModel::shulaker_run();
-        let s = w.sample(&mut StdRng::seed_from_u64(3));
+        let s = w.sample(&mut Xoshiro256pp::seed_from_u64(3));
         let art = s.to_string();
         assert_eq!(art.lines().count(), 15);
         assert!(art.contains('#'));
@@ -276,7 +282,10 @@ mod tests {
     #[test]
     fn validation() {
         assert!(WaferModel::new(2, 0.999, 0.99, 10, 2.0).is_err());
-        assert!(WaferModel::new(9, 0.9, 0.99, 10, 2.0).is_err(), "edge > centre");
+        assert!(
+            WaferModel::new(9, 0.9, 0.99, 10, 2.0).is_err(),
+            "edge > centre"
+        );
         assert!(WaferModel::new(9, 1.5, 0.9, 10, 2.0).is_err());
         assert!(WaferModel::new(9, 0.999, 0.99, 0, 2.0).is_err());
         assert!(WaferModel::new(9, 0.999, 0.99, 10, 0.0).is_err());

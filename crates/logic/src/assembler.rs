@@ -96,7 +96,10 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
         if line.is_empty() {
             continue;
         }
-        let err = |reason: String| AssembleError { line: line_no, reason };
+        let err = |reason: String| AssembleError {
+            line: line_no,
+            reason,
+        };
         if let Some(rest) = line.strip_prefix(".data") {
             let parts: Vec<&str> = rest.split_whitespace().collect();
             if parts.len() != 2 {
@@ -147,7 +150,10 @@ pub fn assemble(source: &str) -> Result<Program, AssembleError> {
 
     let mut instructions = Vec::with_capacity(raw.len());
     for r in &raw {
-        let err = |reason: String| AssembleError { line: r.line, reason };
+        let err = |reason: String| AssembleError {
+            line: r.line,
+            reason,
+        };
         let resolve_data = |name: &str| {
             data_names
                 .get(name)

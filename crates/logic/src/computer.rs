@@ -146,16 +146,18 @@ impl SubnegComputer {
     /// final borrow (set iff the true result is negative, given both
     /// operands fit the word).
     fn alu_subtract(&mut self, y: i64, x: i64) -> Result<(i64, bool), LogicError> {
-        let mask: i64 = if self.word_bits == 64 { -1 } else { (1 << self.word_bits) - 1 };
+        let mask: i64 = if self.word_bits == 64 {
+            -1
+        } else {
+            (1 << self.word_bits) - 1
+        };
         let (yu, xu) = (y & mask, x & mask);
         let mut borrow = false;
         let mut out: i64 = 0;
         for bit in 0..self.word_bits {
             let a = (yu >> bit) & 1 == 1;
             let b = (xu >> bit) & 1 == 1;
-            let e = self
-                .alu
-                .evaluate(&[("a", a), ("b", b), ("bin", borrow)])?;
+            let e = self.alu.evaluate(&[("a", a), ("b", b), ("bin", borrow)])?;
             if e.value("fs_diff")? {
                 out |= 1 << bit;
             }
@@ -165,7 +167,11 @@ impl SubnegComputer {
         }
         // Sign-extend the wrapped result.
         let sign_bit = 1_i64 << (self.word_bits - 1);
-        let signed = if out & sign_bit != 0 { out | !mask } else { out };
+        let signed = if out & sign_bit != 0 {
+            out | !mask
+        } else {
+            out
+        };
         Ok((signed, borrow))
     }
 
@@ -232,8 +238,16 @@ impl SubnegComputer {
 pub fn counting_program(n: i64) -> (Vec<Instruction>, Vec<i64>) {
     (
         vec![
-            Instruction { a: 0, b: 1, jump: 2 },
-            Instruction { a: 2, b: 3, jump: 0 },
+            Instruction {
+                a: 0,
+                b: 1,
+                jump: 2,
+            },
+            Instruction {
+                a: 2,
+                b: 3,
+                jump: 0,
+            },
         ],
         vec![1, n, 0, -1],
     )
@@ -249,20 +263,60 @@ pub fn sorting_program(x: i64, y: i64) -> (Vec<Instruction>, Vec<i64>) {
     // The program compares x and y by computing scratch = x; scratch -= y.
     let program = vec![
         // scratch = -x  (scratch starts 0: scratch -= x)
-        Instruction { a: 0, b: 4, jump: 1 },
+        Instruction {
+            a: 0,
+            b: 4,
+            jump: 1,
+        },
         // scratch = y − x : scratch += y  ⇒ scratch = -(x) ... SUBNEG only
         // subtracts, so compute scratch2 = −y, then scratch −= scratch2.
-        Instruction { a: 1, b: 5, jump: 2 },
-        Instruction { a: 5, b: 4, jump: 6 }, // scratch = y − x; if negative (x > y) jump 6
+        Instruction {
+            a: 1,
+            b: 5,
+            jump: 2,
+        },
+        Instruction {
+            a: 5,
+            b: 4,
+            jump: 6,
+        }, // scratch = y − x; if negative (x > y) jump 6
         // x ≤ y: min = x, max = y (copy via double subtraction)
-        Instruction { a: 0, b: 6, jump: 4 }, // t = −x
-        Instruction { a: 6, b: 2, jump: 5 }, // min = x
-        Instruction { a: 1, b: 7, jump: 9 }, // t2 = −y, then fall/jump to 9
+        Instruction {
+            a: 0,
+            b: 6,
+            jump: 4,
+        }, // t = −x
+        Instruction {
+            a: 6,
+            b: 2,
+            jump: 5,
+        }, // min = x
+        Instruction {
+            a: 1,
+            b: 7,
+            jump: 9,
+        }, // t2 = −y, then fall/jump to 9
         // x > y: min = y, max = x
-        Instruction { a: 1, b: 6, jump: 7 }, // t = −y
-        Instruction { a: 6, b: 2, jump: 8 }, // min = y
-        Instruction { a: 0, b: 7, jump: 9 }, // t2 = −x
-        Instruction { a: 7, b: 3, jump: 10 }, // max = (x or y)
+        Instruction {
+            a: 1,
+            b: 6,
+            jump: 7,
+        }, // t = −y
+        Instruction {
+            a: 6,
+            b: 2,
+            jump: 8,
+        }, // min = y
+        Instruction {
+            a: 0,
+            b: 7,
+            jump: 9,
+        }, // t2 = −x
+        Instruction {
+            a: 7,
+            b: 3,
+            jump: 10,
+        }, // max = (x or y)
     ];
     (program, vec![x, y, 0, 0, 0, 0, 0, 0])
 }
@@ -331,7 +385,11 @@ mod tests {
 
     #[test]
     fn bad_address_halts() {
-        let prog = vec![Instruction { a: 9, b: 0, jump: 0 }];
+        let prog = vec![Instruction {
+            a: 9,
+            b: 0,
+            jump: 0,
+        }];
         let mut cpu = SubnegComputer::new(prog, vec![0], 8, delay()).unwrap();
         let (halt, _) = cpu.run(10).unwrap();
         assert_eq!(halt, Halt::BadAddress { pc: 0 });
@@ -341,7 +399,11 @@ mod tests {
     fn step_limit_detects_infinite_loop() {
         // mem[a] = 0 never drives mem[b] negative when b starts at 0...
         // actually 0 − 0 = 0 forever with jump = self: infinite loop.
-        let prog = vec![Instruction { a: 0, b: 0, jump: 0 }];
+        let prog = vec![Instruction {
+            a: 0,
+            b: 0,
+            jump: 0,
+        }];
         let mut cpu = SubnegComputer::new(prog, vec![0], 8, delay()).unwrap();
         let (halt, stats) = cpu.run(50).unwrap();
         // 0 − 0 = 0 → not negative → pc += 1 → program end, actually.
@@ -352,11 +414,13 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(SubnegComputer::new(vec![], vec![0], 8, delay()).is_err());
-        let prog = vec![Instruction { a: 0, b: 0, jump: 0 }];
+        let prog = vec![Instruction {
+            a: 0,
+            b: 0,
+            jump: 0,
+        }];
         assert!(SubnegComputer::new(prog.clone(), vec![0], 1, delay()).is_err());
         assert!(SubnegComputer::new(prog.clone(), vec![0], 64, delay()).is_err());
-        assert!(
-            SubnegComputer::new(prog, vec![0], 8, Time::from_seconds(0.0)).is_err()
-        );
+        assert!(SubnegComputer::new(prog, vec![0], 8, Time::from_seconds(0.0)).is_err());
     }
 }

@@ -180,7 +180,11 @@ impl GateNetwork {
             });
         }
         let in0 = self.net(inputs[0]);
-        let in1 = if inputs.len() > 1 { self.net(inputs[1]) } else { in0 };
+        let in1 = if inputs.len() > 1 {
+            self.net(inputs[1])
+        } else {
+            in0
+        };
         let out = self.net(output);
         if self.driven[out] {
             return Err(LogicError::InvalidParameter {
@@ -303,7 +307,9 @@ impl GateNetwork {
         // Initial evaluation of every gate at t = 0.
         for g in &self.gates {
             evaluations += 1;
-            let new = g.kind.eval(values[g.inputs[0]], values[g.inputs[1]], values[g.output]);
+            let new = g
+                .kind
+                .eval(values[g.inputs[0]], values[g.inputs[1]], values[g.output]);
             queue
                 .entry(g.kind.delay_stages())
                 .or_default()
@@ -335,8 +341,9 @@ impl GateNetwork {
                     });
                 }
                 let g = &self.gates[gi];
-                let new =
-                    g.kind.eval(values[g.inputs[0]], values[g.inputs[1]], values[g.output]);
+                let new = g
+                    .kind
+                    .eval(values[g.inputs[0]], values[g.inputs[1]], values[g.output]);
                 let effective = last_scheduled[g.output].unwrap_or(values[g.output]);
                 if new != effective || !known[g.output] {
                     queue
@@ -514,9 +521,7 @@ mod tests {
         for a in [false, true] {
             for b in [false, true] {
                 for bin in [false, true] {
-                    let e = n
-                        .evaluate(&[("a", a), ("b", b), ("bin", bin)])
-                        .unwrap();
+                    let e = n.evaluate(&[("a", a), ("b", b), ("bin", bin)]).unwrap();
                     let expect = (a as i8) - (b as i8) - (bin as i8);
                     let diff = expect.rem_euclid(2) == 1;
                     let borrow = expect < 0;

@@ -197,8 +197,7 @@ mod tests {
     #[test]
     fn nand2_truth_table() {
         let (n, p) = devices();
-        let gate =
-            StaticGate::new(GateTopology::Nand2, n, p, Voltage::from_volts(1.0)).unwrap();
+        let gate = StaticGate::new(GateTopology::Nand2, n, p, Voltage::from_volts(1.0)).unwrap();
         let rows = gate.truth_table().unwrap();
         for r in rows {
             let expect = !(r.a && r.b);
@@ -246,16 +245,10 @@ mod tests {
     #[test]
     fn construction_validation() {
         let (n, p) = devices();
+        assert!(StaticGate::new(GateTopology::Nand2, n.clone(), p.clone(), Voltage::ZERO).is_err());
         assert!(
-            StaticGate::new(GateTopology::Nand2, n.clone(), p.clone(), Voltage::ZERO).is_err()
+            StaticGate::new(GateTopology::Nand2, p.clone(), p, Voltage::from_volts(1.0)).is_err()
         );
-        assert!(StaticGate::new(
-            GateTopology::Nand2,
-            p.clone(),
-            p,
-            Voltage::from_volts(1.0)
-        )
-        .is_err());
         let _ = n;
     }
 }

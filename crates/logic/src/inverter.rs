@@ -50,11 +50,7 @@ impl Inverter {
     ///
     /// Returns [`LogicError::InvalidParameter`] if `vdd` is not positive
     /// or the polarities are wrong.
-    pub fn new(
-        nfet: Arc<dyn Fet>,
-        pfet: Arc<dyn Fet>,
-        vdd: Voltage,
-    ) -> Result<Self, LogicError> {
+    pub fn new(nfet: Arc<dyn Fet>, pfet: Arc<dyn Fet>, vdd: Voltage) -> Result<Self, LogicError> {
         if !(vdd.volts().is_finite() && vdd.volts() > 0.0) {
             return Err(LogicError::InvalidParameter {
                 reason: format!("vdd must be positive, got {} V", vdd.volts()),
@@ -107,7 +103,13 @@ impl Inverter {
         let mut ckt = Circuit::new();
         ckt.voltage_source("vdd", "vdd", "0", self.vdd);
         ckt.voltage_source("vin", "in", "0", 0.0);
-        ckt.fet("mp", "out", "in", "vdd", Arc::new(FetRef(self.pfet.clone())))?;
+        ckt.fet(
+            "mp",
+            "out",
+            "in",
+            "vdd",
+            Arc::new(FetRef(self.pfet.clone())),
+        )?;
         ckt.fet("mn", "out", "in", "0", Arc::new(FetRef(self.nfet.clone())))?;
         Ok(ckt)
     }
@@ -174,7 +176,13 @@ impl Inverter {
                 period: 0.0,
             },
         )?;
-        ckt2.fet("mp", "out", "in", "vdd", Arc::new(FetRef(self.pfet.clone())))?;
+        ckt2.fet(
+            "mp",
+            "out",
+            "in",
+            "vdd",
+            Arc::new(FetRef(self.pfet.clone())),
+        )?;
         ckt2.fet("mn", "out", "in", "0", Arc::new(FetRef(self.nfet.clone())))?;
         ckt2.capacitor("cl", "out", "0", load.farads())?;
         let tran = ckt2.transient(horizon.seconds() / 2000.0, horizon.seconds())?;
@@ -204,10 +212,11 @@ impl Inverter {
                 feature: "output falling edge",
                 reason: "output never crossed mid-rail after the input rose".into(),
             })?;
-        let t_in_fall = cross(vin, false, t_out_fall).ok_or_else(|| LogicError::MissingFeature {
-            feature: "input falling edge",
-            reason: "pulse did not return to low".into(),
-        })?;
+        let t_in_fall =
+            cross(vin, false, t_out_fall).ok_or_else(|| LogicError::MissingFeature {
+                feature: "input falling edge",
+                reason: "pulse did not return to low".into(),
+            })?;
         let t_out_rise =
             cross(vout, true, t_in_fall).ok_or_else(|| LogicError::MissingFeature {
                 feature: "output rising edge",
@@ -378,7 +387,10 @@ impl Vtc {
                     high: (v_oh - vih).max(0.0),
                 }
             }
-            _ => NoiseMargins { low: 0.0, high: 0.0 },
+            _ => NoiseMargins {
+                low: 0.0,
+                high: 0.0,
+            },
         }
     }
 
@@ -426,16 +438,8 @@ mod tests {
         let nm = vtc.noise_margins();
         // The paper: "almost 0.4 Volt at the high as well as at the low
         // voltage side".
-        assert!(
-            (0.25..0.48).contains(&nm.low),
-            "NM_L = {:.3} V",
-            nm.low
-        );
-        assert!(
-            (0.25..0.48).contains(&nm.high),
-            "NM_H = {:.3} V",
-            nm.high
-        );
+        assert!((0.25..0.48).contains(&nm.low), "NM_L = {:.3} V", nm.low);
+        assert!((0.25..0.48).contains(&nm.high), "NM_H = {:.3} V", nm.high);
     }
 
     #[test]

@@ -178,7 +178,11 @@ mod tests {
         let cnt = Arc::new(BallisticFet::cnt_fig1().unwrap());
         let fig = stage(cnt, 0.5, 0.4).figures();
         assert!(fig.voltage_gain > 5.0, "A_v = {}", fig.voltage_gain);
-        assert!(fig.ft > 1e11, "f_T = {:.2e} (THz-class intrinsic device)", fig.ft);
+        assert!(
+            fig.ft > 1e11,
+            "f_T = {:.2e} (THz-class intrinsic device)",
+            fig.ft
+        );
         assert!(fig.fmax > 1e10, "f_max = {:.2e}", fig.fmax);
     }
 
@@ -214,7 +218,9 @@ mod tests {
         let s = stage(fet, 0.7, 0.8);
         let analytic = s.figures();
         // With a load ≫ 1/gds the simulated gain approaches gm/gds.
-        let simulated = s.simulated_voltage_gain(Resistance::from_ohms(1e9)).unwrap();
+        let simulated = s
+            .simulated_voltage_gain(Resistance::from_ohms(1e9))
+            .unwrap();
         let ratio = simulated / analytic.voltage_gain;
         assert!(
             (0.7..1.3).contains(&ratio),
@@ -227,8 +233,12 @@ mod tests {
     fn finite_load_divides_gain() {
         let fet = Arc::new(AlphaPowerFet::fig2_nfet());
         let s = stage(fet, 0.7, 0.8);
-        let heavy = s.simulated_voltage_gain(Resistance::from_ohms(1e9)).unwrap();
-        let light = s.simulated_voltage_gain(Resistance::from_kilohms(1.0)).unwrap();
+        let heavy = s
+            .simulated_voltage_gain(Resistance::from_ohms(1e9))
+            .unwrap();
+        let light = s
+            .simulated_voltage_gain(Resistance::from_kilohms(1.0))
+            .unwrap();
         assert!(light < heavy);
     }
 

@@ -252,8 +252,6 @@ mod tests {
             Capacitance::ZERO
         )
         .is_err());
-        assert!(
-            RingOscillator::new(n, p, 3, Voltage::from_volts(0.0), Capacitance::ZERO).is_err()
-        );
+        assert!(RingOscillator::new(n, p, 3, Voltage::from_volts(0.0), Capacitance::ZERO).is_err());
     }
 }

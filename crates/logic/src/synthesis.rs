@@ -27,7 +27,9 @@ pub struct Synthesizer {
 
 impl std::fmt::Debug for Synthesizer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Synthesizer").field("vdd", &self.vdd).finish()
+        f.debug_struct("Synthesizer")
+            .field("vdd", &self.vdd)
+            .finish()
     }
 }
 
@@ -117,11 +119,23 @@ impl Synthesizer {
     ) -> Result<(), LogicError> {
         let nmos = |ckt: &mut Circuit, d: &str, g: &str, s: &str, id: &mut usize| {
             *id += 1;
-            ckt.fet(&format!("mn{id}"), d, g, s, Arc::new(FetRef(self.nfet.clone())))
+            ckt.fet(
+                &format!("mn{id}"),
+                d,
+                g,
+                s,
+                Arc::new(FetRef(self.nfet.clone())),
+            )
         };
         let pmos = |ckt: &mut Circuit, d: &str, g: &str, s: &str, id: &mut usize| {
             *id += 1;
-            ckt.fet(&format!("mp{id}"), d, g, s, Arc::new(FetRef(self.pfet.clone())))
+            ckt.fet(
+                &format!("mp{id}"),
+                d,
+                g,
+                s,
+                Arc::new(FetRef(self.pfet.clone())),
+            )
         };
         match kind {
             GateKind::Inv => {
@@ -270,7 +284,9 @@ mod tests {
     fn transistor_count_is_plausible() {
         let s = synth();
         let net = subtractor();
-        let (_, count) = s.compile(&net, &[("a", true), ("b", false), ("bin", false)]).unwrap();
+        let (_, count) = s
+            .compile(&net, &[("a", true), ("b", false), ("bin", false)])
+            .unwrap();
         // 2 XOR (16 each) + 2 INV (2 each) + 3 NAND (4 each) = 48.
         assert_eq!(count, 48);
     }

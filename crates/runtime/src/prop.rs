@@ -1,0 +1,465 @@
+//! A minimal property-based testing harness.
+//!
+//! Drop-in replacement for the subset of `proptest` the workspace used:
+//! the [`proptest!`](crate::proptest) macro over range/vec/string
+//! strategies, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`]. No shrinking — on failure the
+//! harness prints the generated inputs, the case's seed/stream pair,
+//! and how to replay it (`CARBON_PROP_SEED`), which the deterministic
+//! PRNG makes exact.
+//!
+//! Each test case draws from its own
+//! [`Xoshiro256pp::from_seed_and_stream`] stream (seed from the test
+//! name, stream = case index), so adding draws to one case never
+//! perturbs the next and any single case can be replayed in isolation.
+
+use crate::rng::Xoshiro256pp;
+
+/// Per-block configuration, mirroring the `proptest` type of the same
+/// name so existing `#![proptest_config(...)]` lines keep working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, overridable globally with `CARBON_PROP_CASES`.
+    fn default() -> Self {
+        let cases = std::env::var("CARBON_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self::with_cases(cases)
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected the inputs; the case is
+    /// discarded and re-drawn.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+}
+
+/// Result of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a over the test name: a stable per-property base seed.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: draws cases until `cfg.cases` are accepted,
+/// panicking with full reproduction info on the first failure.
+///
+/// `case` receives the case generator and returns the body's outcome
+/// plus a rendering of the generated inputs.
+///
+/// # Panics
+///
+/// Panics when the property fails, or when more than `16 × cases`
+/// consecutive rejects suggest an unsatisfiable `prop_assume!`.
+pub fn run_prop_test<F>(cfg: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut Xoshiro256pp) -> (TestCaseResult, String),
+{
+    let seed = std::env::var("CARBON_PROP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| fnv1a(name));
+    let mut accepted = 0u32;
+    let mut stream = 0u64;
+    let reject_budget = u64::from(cfg.cases) * 16;
+    while accepted < cfg.cases {
+        assert!(
+            stream < u64::from(cfg.cases) + reject_budget,
+            "property '{name}': too many rejected cases \
+             ({accepted}/{} accepted after {stream} draws) — \
+             prop_assume! condition is too narrow",
+            cfg.cases
+        );
+        let mut rng = Xoshiro256pp::from_seed_and_stream(seed, stream);
+        let (outcome, inputs) = case(&mut rng);
+        stream += 1;
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property '{name}' falsified (case {accepted}, seed {seed}, stream {})\n\
+                 inputs: {inputs}\n{msg}\n\
+                 replay with CARBON_PROP_SEED={seed}",
+                stream - 1
+            ),
+        }
+    }
+}
+
+/// A value generator for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                use crate::rng::Rng;
+                assert!(self.start < self.end, "empty strategy range {self:?}");
+                let span = self.end.abs_diff(self.start);
+                self.start.wrapping_add(rng.gen_below_u64(u64::from(span)) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                use crate::rng::Rng;
+                assert!(self.start() <= self.end(), "empty strategy range {self:?}");
+                let span = self.end().abs_diff(*self.start());
+                self.start()
+                    .wrapping_add(rng.gen_below_u64(u64::from(span).saturating_add(1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_wide_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut Xoshiro256pp) -> $t {
+                use crate::rng::Rng;
+                assert!(self.start < self.end, "empty strategy range {self:?}");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.gen_below_u64(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_wide_int_range_strategy!(u64, usize, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Xoshiro256pp) -> f64 {
+        use crate::rng::Rng;
+        rng.gen_range_f64(self.start, self.end)
+    }
+}
+
+/// Size specification for collection strategies: an exact length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        Self {
+            min: *r.start(),
+            max_exclusive: r.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut Xoshiro256pp) -> usize {
+        use crate::rng::Rng;
+        if self.min + 1 == self.max_exclusive {
+            self.min
+        } else {
+            rng.gen_range_usize(self.min..self.max_exclusive)
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// Builds a `Vec` strategy: `size` is an exact length (`usize`) or a
+/// length range.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing strings over an explicit character alphabet.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    alphabet: Vec<char>,
+    size: SizeRange,
+}
+
+/// Strings of printable ASCII (`' '..='~'`) plus `'\n'` — the fuzz
+/// alphabet for text-format parsers (e.g. SPICE decks).
+pub fn printable_ascii(size: impl Into<SizeRange>) -> StringStrategy {
+    let mut alphabet: Vec<char> = (b' '..=b'~').map(char::from).collect();
+    alphabet.push('\n');
+    StringStrategy {
+        alphabet,
+        size: size.into(),
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut Xoshiro256pp) -> String {
+        use crate::rng::Rng;
+        let n = self.size.draw(rng);
+        (0..n)
+            .map(|_| self.alphabet[rng.gen_range_usize(0..self.alphabet.len())])
+            .collect()
+    }
+}
+
+/// The property-test prelude: everything a `proptest!` block needs.
+pub mod prelude {
+    pub use super::{ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests.
+///
+/// Mirrors the `proptest!` surface the workspace used: an optional
+/// `#![proptest_config(...)]` header, then `#[test]` functions whose
+/// arguments are drawn from strategies:
+///
+/// ```
+/// use carbon_runtime::prop::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     // In a test module this would carry `#[test]`.
+///     fn addition_commutes(a in -1.0e6_f64..1.0e6, b in -1.0e6_f64..1.0e6) {
+///         prop_assert!((a + b - (b + a)).abs() == 0.0);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { (<$crate::prop::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    { ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::prop::run_prop_test($cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::prop::Strategy::generate(&($strat), __rng);)*
+                    let __inputs = ::std::format!(
+                        concat!($(stringify!($arg), " = {:?}; "),*),
+                        $(&$arg),*
+                    );
+                    let __outcome = (move || -> $crate::prop::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    (__outcome, __inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current property-test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::prop::TestCaseError::fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (re-drawing fresh inputs) unless the
+/// precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in -3i32..=3, z in 0.5_f64..2.5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+            prop_assert!((0.5..2.5).contains(&z));
+        }
+
+        #[test]
+        fn assume_filters_inputs(n in 0u32..100, m in 0u32..100) {
+            prop_assume!(m <= n);
+            prop_assert!(n - m <= n);
+        }
+
+        #[test]
+        fn vectors_obey_size_spec(v in super::vec(0.0_f64..1.0, 2..8), w in super::vec(0u32..5, 3usize)) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert_eq!(w.len(), 3);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn strings_use_the_alphabet(s in super::printable_ascii(0..40)) {
+            prop_assert!(s.len() < 40);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_header_is_accepted(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_inputs() {
+        super::run_prop_test(ProptestConfig::with_cases(64), "doomed", |rng| {
+            let x = super::Strategy::generate(&(0u32..100), rng);
+            let outcome = if x < 1000 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            };
+            (outcome, format!("x = {x}"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn unsatisfiable_assume_is_reported() {
+        super::run_prop_test(ProptestConfig::with_cases(4), "starved", |_| {
+            (Err(TestCaseError::Reject), String::new())
+        });
+    }
+
+    #[test]
+    fn same_name_same_draws() {
+        let mut a = Vec::new();
+        super::run_prop_test(ProptestConfig::with_cases(16), "stable", |rng| {
+            a.push(super::Strategy::generate(&(0u64..1_000_000), rng));
+            (Ok(()), String::new())
+        });
+        let mut b = Vec::new();
+        super::run_prop_test(ProptestConfig::with_cases(16), "stable", |rng| {
+            b.push(super::Strategy::generate(&(0u64..1_000_000), rng));
+            (Ok(()), String::new())
+        });
+        assert_eq!(a, b);
+    }
+}

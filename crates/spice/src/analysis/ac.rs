@@ -37,11 +37,13 @@ impl AcResult {
         if lower == "0" || lower == "gnd" {
             return Ok(vec![Complex::ZERO; self.freqs.len()]);
         }
-        let idx = self
-            .node_names
-            .iter()
-            .position(|n| *n == lower)
-            .ok_or(SpiceError::UnknownNode { name: node.to_owned() })?;
+        let idx =
+            self.node_names
+                .iter()
+                .position(|n| *n == lower)
+                .ok_or(SpiceError::UnknownNode {
+                    name: node.to_owned(),
+                })?;
         Ok(self.solutions.iter().map(|s| s[idx]).collect())
     }
 
@@ -67,7 +69,9 @@ impl AcResult {
     /// lowest-frequency magnitude, if the response crosses it.
     pub fn corner_frequency(&self, node: &str) -> Result<Option<f64>, SpiceError> {
         let mag = self.magnitude(node)?;
-        let Some(&m0) = mag.first() else { return Ok(None) };
+        let Some(&m0) = mag.first() else {
+            return Ok(None);
+        };
         let target = m0 / 2.0_f64.sqrt();
         for k in 1..mag.len() {
             if (mag[k - 1] >= target) != (mag[k] >= target) {
@@ -111,7 +115,9 @@ impl Circuit {
                 )
         });
         if !has_source {
-            return Err(SpiceError::UnknownSource { name: source.to_owned() });
+            return Err(SpiceError::UnknownSource {
+                name: source.to_owned(),
+            });
         }
         let op = self.op()?;
         let op_v = |id: NodeId| -> f64 {
@@ -215,7 +221,12 @@ fn stamp_ac<F: Fn(NodeId) -> f64>(
                 }
             }
         }
-        ElementKind::Diode { p, n, i_s, n_ideality } => {
+        ElementKind::Diode {
+            p,
+            n,
+            i_s,
+            n_ideality,
+        } => {
             let v = op_v(*p) - op_v(*n);
             let (_i, g) = diode_iv(v, *i_s, *n_ideality);
             stamp_y(a, *p, *n, Complex::new(g, 0.0));

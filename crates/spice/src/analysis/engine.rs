@@ -34,7 +34,6 @@ impl Default for NewtonOptions {
 /// Companion model of one capacitor for the implicit integrators.
 #[derive(Debug, Clone)]
 pub(crate) struct CapCompanion {
-    #[allow(dead_code)]
     pub element_index: usize,
     p: NodeId,
     n: NodeId,
@@ -221,7 +220,11 @@ pub(crate) fn newton_solve(
         }
     }
     Err(SpiceError::NonConvergence {
-        analysis: if time.is_some() { "transient point" } else { "dc operating point" },
+        analysis: if time.is_some() {
+            "transient point"
+        } else {
+            "dc operating point"
+        },
         iterations: opts.max_iter,
         residual: f64::NAN,
     })
@@ -323,7 +326,12 @@ fn stamp_all(
                 // p → n through the element.
                 stamp_i(z, *p, *n, -i);
             }
-            ElementKind::Diode { p, n, i_s, n_ideality } => {
+            ElementKind::Diode {
+                p,
+                n,
+                i_s,
+                n_ideality,
+            } => {
                 let v = node_v(*p, x) - node_v(*n, x);
                 let (i_d, g_d) = diode_iv(v, *i_s, *n_ideality);
                 stamp_g(a, *p, *n, g_d);

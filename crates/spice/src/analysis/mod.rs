@@ -51,7 +51,11 @@ impl OpResult {
                 _ => {}
             }
         }
-        Self { node_names, branch_names, x }
+        Self {
+            node_names,
+            branch_names,
+            x,
+        }
     }
 
     /// Voltage of a named node, V.
@@ -68,7 +72,9 @@ impl OpResult {
             .iter()
             .position(|n| *n == lower)
             .map(|i| self.x[i])
-            .ok_or(SpiceError::UnknownNode { name: node.to_owned() })
+            .ok_or(SpiceError::UnknownNode {
+                name: node.to_owned(),
+            })
     }
 
     /// Current through a named voltage source, A (positive flowing into
@@ -84,9 +90,10 @@ impl OpResult {
             .iter()
             .position(|n| *n == source_lower)
             .map(|i| self.x[self.node_names.len() + i])
-            .ok_or(SpiceError::UnknownSource { name: source.to_owned() })
+            .ok_or(SpiceError::UnknownSource {
+                name: source.to_owned(),
+            })
     }
-
 }
 
 /// Result of a DC sweep: the swept values and one solution per point.
@@ -117,7 +124,10 @@ impl SweepResult {
     ///
     /// Returns [`SpiceError::UnknownSource`] for unknown names.
     pub fn currents(&self, source: &str) -> Result<Vec<f64>, SpiceError> {
-        self.points.iter().map(|p| p.source_current(source)).collect()
+        self.points
+            .iter()
+            .map(|p| p.source_current(source))
+            .collect()
     }
 
     /// Number of sweep points.
@@ -163,7 +173,9 @@ impl TranResult {
         self.traces
             .get(&lower)
             .map(|v| v.as_slice())
-            .ok_or(SpiceError::UnknownNode { name: node.to_owned() })
+            .ok_or(SpiceError::UnknownNode {
+                name: node.to_owned(),
+            })
     }
 }
 
@@ -206,16 +218,16 @@ impl Circuit {
         let mut xs = vec![0.0; self.num_unknowns()];
         for k in 1..=20 {
             let scale = k as f64 / 20.0;
-            newton_solve(self, &mut xs, None, None, scale, opts.gmin, &opts).map_err(|e| {
-                match e {
+            newton_solve(self, &mut xs, None, None, scale, opts.gmin, &opts).map_err(
+                |e| match e {
                     SpiceError::SingularMatrix { .. } => e,
                     _ => SpiceError::NonConvergence {
                         analysis: "dc operating point",
                         iterations: opts.max_iter,
                         residual: f64::NAN,
                     },
-                }
-            })?;
+                },
+            )?;
         }
         Ok(xs)
     }
@@ -327,8 +339,16 @@ impl Circuit {
             for ind in &mut inds {
                 ind.prepare(tstep, trapezoidal);
             }
-            if newton_solve(self, &mut x, Some(t), Some((&caps, &inds)), 1.0, opts.gmin, &opts)
-                .is_err()
+            if newton_solve(
+                self,
+                &mut x,
+                Some(t),
+                Some((&caps, &inds)),
+                1.0,
+                opts.gmin,
+                &opts,
+            )
+            .is_err()
             {
                 // Retry with heavy damping: piecewise-linear device
                 // models (table models) can make full Newton steps
@@ -338,15 +358,23 @@ impl Circuit {
                     vstep_limit: 0.02,
                     ..opts
                 };
-                newton_solve(self, &mut x, Some(t), Some((&caps, &inds)), 1.0, opts.gmin, &damped)
-                    .map_err(|e| match e {
-                        SpiceError::SingularMatrix { .. } => e,
-                        _ => SpiceError::NonConvergence {
-                            analysis: "transient",
-                            iterations: damped.max_iter,
-                            residual: t,
-                        },
-                    })?;
+                newton_solve(
+                    self,
+                    &mut x,
+                    Some(t),
+                    Some((&caps, &inds)),
+                    1.0,
+                    opts.gmin,
+                    &damped,
+                )
+                .map_err(|e| match e {
+                    SpiceError::SingularMatrix { .. } => e,
+                    _ => SpiceError::NonConvergence {
+                        analysis: "transient",
+                        iterations: damped.max_iter,
+                        residual: t,
+                    },
+                })?;
             }
             for cap in &mut caps {
                 cap.commit(&x);

@@ -10,7 +10,6 @@
 //! iterator forms clippy suggests obscure the row/column structure.
 #![allow(clippy::needless_range_loop)]
 
-
 use crate::error::SpiceError;
 
 /// A complex number (phasor) with `f64` parts.

@@ -82,7 +82,11 @@ pub(crate) enum ElementKind {
         l: f64,
     },
     /// Independent current source injecting from `n` into `p`.
-    CurrentSource { p: NodeId, n: NodeId, wave: Waveform },
+    CurrentSource {
+        p: NodeId,
+        n: NodeId,
+        wave: Waveform,
+    },
     /// Shockley diode `p → n` with saturation current `i_s` and ideality
     /// factor `n_ideality` at 300 K.
     Diode {
@@ -119,15 +123,26 @@ impl std::fmt::Debug for ElementKind {
                 write!(f, "Capacitor(p: {p:?}, n: {n:?}, c: {c:.3e} F)")
             }
             Self::VoltageSource { p, n, branch, wave } => {
-                write!(f, "VoltageSource(p: {p:?}, n: {n:?}, branch: {branch}, wave: {wave:?})")
+                write!(
+                    f,
+                    "VoltageSource(p: {p:?}, n: {n:?}, branch: {branch}, wave: {wave:?})"
+                )
             }
             Self::Inductor { p, n, branch, l } => {
-                write!(f, "Inductor(p: {p:?}, n: {n:?}, branch: {branch}, l: {l:.3e} H)")
+                write!(
+                    f,
+                    "Inductor(p: {p:?}, n: {n:?}, branch: {branch}, l: {l:.3e} H)"
+                )
             }
             Self::CurrentSource { p, n, wave } => {
                 write!(f, "CurrentSource(p: {p:?}, n: {n:?}, wave: {wave:?})")
             }
-            Self::Diode { p, n, i_s, n_ideality } => write!(
+            Self::Diode {
+                p,
+                n,
+                i_s,
+                n_ideality,
+            } => write!(
                 f,
                 "Diode(p: {p:?}, n: {n:?}, is: {i_s:.3e} A, n: {n_ideality})"
             ),
@@ -136,7 +151,10 @@ impl std::fmt::Debug for ElementKind {
                 "Vccs(p: {p:?}, n: {n:?}, ctrl: ({cp:?}, {cn:?}), gm: {gm:.3e} S)"
             ),
             Self::Fet { d, g, s, .. } => {
-                write!(f, "Fet(d: {d:?}, g: {g:?}, s: {s:?}, model: <dyn FetCurve>)")
+                write!(
+                    f,
+                    "Fet(d: {d:?}, g: {g:?}, s: {s:?}, model: <dyn FetCurve>)"
+                )
             }
         }
     }

@@ -98,7 +98,9 @@ mod tests {
         assert!(SpiceError::UnknownNode { name: "out".into() }
             .to_string()
             .contains("out"));
-        assert!(SpiceError::SingularMatrix { row: 3 }.to_string().contains("row 3"));
+        assert!(SpiceError::SingularMatrix { row: 3 }
+            .to_string()
+            .contains("row 3"));
     }
 
     #[test]

@@ -49,10 +49,10 @@ pub mod parser;
 pub mod runner;
 pub mod waveform;
 
-pub use element::FetCurve;
-pub use error::SpiceError;
-pub use netlist::{Circuit, NodeId};
 pub use analysis::ac::AcResult;
 pub use analysis::{OpResult, SweepResult, TranResult};
 pub use complex::Complex;
+pub use element::FetCurve;
+pub use error::SpiceError;
+pub use netlist::{Circuit, NodeId};
 pub use waveform::Waveform;

@@ -10,7 +10,6 @@
 //! iterator forms clippy suggests obscure the row/column structure.
 #![allow(clippy::needless_range_loop)]
 
-
 use crate::error::SpiceError;
 
 /// A dense square matrix stored row-major.
@@ -23,7 +22,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zeroed `n × n` matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -39,7 +41,10 @@ impl DenseMatrix {
     /// Panics if either index is out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row}, {col}) out of bounds"
+        );
         self.data[row * self.n + col]
     }
 
@@ -50,7 +55,10 @@ impl DenseMatrix {
     /// Panics if either index is out of bounds.
     #[inline]
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.n && col < self.n,
+            "index ({row}, {col}) out of bounds"
+        );
         self.data[row * self.n + col] += value;
     }
 
@@ -233,7 +241,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use carbon_runtime::prop::prelude::*;
 
     proptest! {
         /// Diagonally dominant random systems are well-posed; the solver
@@ -241,7 +249,7 @@ mod proptests {
         #[test]
         fn recovers_planted_solution(
             n in 1usize..12,
-            seed in proptest::collection::vec(-1.0_f64..1.0, 144 + 12),
+            seed in carbon_runtime::prop::vec(-1.0_f64..1.0, 144 + 12),
         ) {
             let mut a = DenseMatrix::zeros(n);
             for r in 0..n {

@@ -87,7 +87,9 @@ impl Circuit {
         self.node_index
             .get(&lower)
             .copied()
-            .ok_or(SpiceError::UnknownNode { name: name.to_owned() })
+            .ok_or(SpiceError::UnknownNode {
+                name: name.to_owned(),
+            })
     }
 
     /// Number of node-voltage unknowns (excludes ground).
@@ -133,7 +135,14 @@ impl Circuit {
             });
         }
         let (p, n) = (self.node(p), self.node(n));
-        self.register(name, ElementKind::Resistor { p, n, g: 1.0 / ohms })
+        self.register(
+            name,
+            ElementKind::Resistor {
+                p,
+                n,
+                g: 1.0 / ohms,
+            },
+        )
     }
 
     /// Adds a capacitor of `farads` between `p` and `n`.
@@ -141,7 +150,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects negative or non-finite capacitance and duplicate names.
-    pub fn capacitor(&mut self, name: &str, p: &str, n: &str, farads: f64) -> Result<(), SpiceError> {
+    pub fn capacitor(
+        &mut self,
+        name: &str,
+        p: &str,
+        n: &str,
+        farads: f64,
+    ) -> Result<(), SpiceError> {
         if !(farads.is_finite() && farads >= 0.0) {
             return Err(SpiceError::InvalidValue {
                 element: name.to_owned(),
@@ -158,7 +173,13 @@ impl Circuit {
     ///
     /// Rejects non-positive or non-finite inductance and duplicate
     /// names.
-    pub fn inductor(&mut self, name: &str, p: &str, n: &str, henries: f64) -> Result<(), SpiceError> {
+    pub fn inductor(
+        &mut self,
+        name: &str,
+        p: &str,
+        n: &str,
+        henries: f64,
+    ) -> Result<(), SpiceError> {
         if !(henries.is_finite() && henries > 0.0) {
             return Err(SpiceError::InvalidValue {
                 element: name.to_owned(),
@@ -168,7 +189,15 @@ impl Circuit {
         let (p, n) = (self.node(p), self.node(n));
         let branch = self.num_branches;
         self.num_branches += 1;
-        self.register(name, ElementKind::Inductor { p, n, branch, l: henries })
+        self.register(
+            name,
+            ElementKind::Inductor {
+                p,
+                n,
+                branch,
+                l: henries,
+            },
+        )
     }
 
     /// Adds a DC voltage source of `volts` from `p` (+) to `n` (−).
@@ -213,7 +242,13 @@ impl Circuit {
     /// # Errors
     ///
     /// Rejects duplicate names and non-finite values.
-    pub fn current_source(&mut self, name: &str, p: &str, n: &str, amps: f64) -> Result<(), SpiceError> {
+    pub fn current_source(
+        &mut self,
+        name: &str,
+        p: &str,
+        n: &str,
+        amps: f64,
+    ) -> Result<(), SpiceError> {
         self.current_source_wave(name, p, n, Waveform::Dc(amps))
     }
 
@@ -259,7 +294,15 @@ impl Circuit {
             });
         }
         let (p, n) = (self.node(p), self.node(n));
-        self.register(name, ElementKind::Diode { p, n, i_s, n_ideality })
+        self.register(
+            name,
+            ElementKind::Diode {
+                p,
+                n,
+                i_s,
+                n_ideality,
+            },
+        )
     }
 
     /// Adds a voltage-controlled current source: `gm·(v(cp) − v(cn))`
@@ -316,13 +359,17 @@ impl Circuit {
         let idx = *self
             .element_index
             .get(&name.to_ascii_lowercase())
-            .ok_or_else(|| SpiceError::UnknownSource { name: name.to_owned() })?;
+            .ok_or_else(|| SpiceError::UnknownSource {
+                name: name.to_owned(),
+            })?;
         match &mut self.elements[idx].kind {
             ElementKind::VoltageSource { wave, .. } | ElementKind::CurrentSource { wave, .. } => {
                 *wave = Waveform::Dc(value);
                 Ok(())
             }
-            _ => Err(SpiceError::UnknownSource { name: name.to_owned() }),
+            _ => Err(SpiceError::UnknownSource {
+                name: name.to_owned(),
+            }),
         }
     }
 

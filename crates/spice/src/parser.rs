@@ -227,7 +227,8 @@ pub fn parse_value(token: &str) -> Result<f64, String> {
             }
         }
     }
-    t.parse::<f64>().map_err(|_| format!("cannot parse value '{token}'"))
+    t.parse::<f64>()
+        .map_err(|_| format!("cannot parse value '{token}'"))
 }
 
 #[cfg(test)]
@@ -294,7 +295,10 @@ mod tests {
     fn parses_sin_source() {
         let ckt = parse_deck("V1 in 0 SIN(0.5 0.2 1meg)\nR1 in 0 1k").unwrap();
         let op = ckt.op().unwrap();
-        assert!((op.voltage("in").unwrap() - 0.5).abs() < 1e-9, "DC value is the offset");
+        assert!(
+            (op.voltage("in").unwrap() - 0.5).abs() < 1e-9,
+            "DC value is the offset"
+        );
     }
 
     #[test]

@@ -177,7 +177,12 @@ impl Deck {
                         let _ = writeln!(out, "V({node}) = {:.6e}", op.voltage(node)?);
                     }
                 }
-                AnalysisCard::Dc { source, from, to, step } => {
+                AnalysisCard::Dc {
+                    source,
+                    from,
+                    to,
+                    step,
+                } => {
                     let sweep = self.circuit.dc_sweep(source, *from, *to, *step)?;
                     let _ = writeln!(out, "* .dc {source} {from} {to} {step}");
                     let traces: Vec<(String, Vec<f64>)> = nodes
@@ -215,9 +220,7 @@ impl Deck {
                 } => {
                     let freqs: Vec<f64> = (0..*points)
                         .map(|k| {
-                            f_start
-                                * (f_stop / f_start)
-                                    .powf(k as f64 / (*points as f64 - 1.0))
+                            f_start * (f_stop / f_start).powf(k as f64 / (*points as f64 - 1.0))
                         })
                         .collect();
                     let ac = self.circuit.ac_sweep(source, &freqs)?;

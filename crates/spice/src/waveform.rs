@@ -109,8 +109,7 @@ impl Waveform {
                 if t < delay {
                     offset
                 } else {
-                    offset
-                        + amplitude * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                    offset + amplitude * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
                 }
             }
         }
@@ -218,7 +217,10 @@ mod tests {
             delay: 0.0,
         };
         assert!((w.value_at(0.0) - 0.5).abs() < 1e-12);
-        assert!((w.value_at(0.25e-9) - 0.7).abs() < 1e-9, "peak at quarter period");
+        assert!(
+            (w.value_at(0.25e-9) - 0.7).abs() < 1e-9,
+            "peak at quarter period"
+        );
         assert_eq!(w.dc_value(), 0.5);
     }
 }

@@ -22,8 +22,13 @@ fn ladder_network_kcl() {
     let mut ckt = Circuit::new();
     ckt.voltage_source("v", "n0", "0", 1.0);
     for i in 0..5 {
-        ckt.resistor(&format!("rs{i}"), &format!("n{i}"), &format!("n{}", i + 1), 1e3)
-            .unwrap();
+        ckt.resistor(
+            &format!("rs{i}"),
+            &format!("n{i}"),
+            &format!("n{}", i + 1),
+            1e3,
+        )
+        .unwrap();
         ckt.resistor(&format!("rp{i}"), &format!("n{}", i + 1), "0", 1e3)
             .unwrap();
     }
@@ -164,12 +169,7 @@ fn dc_sweep_traces_square_law() {
     ckt.fet("m1", "d", "g", "0", model).unwrap();
     let sweep = ckt.dc_sweep("vg", 0.0, 1.0, 0.05).unwrap();
     assert_eq!(sweep.len(), 21);
-    let id: Vec<f64> = sweep
-        .currents("vd")
-        .unwrap()
-        .iter()
-        .map(|i| -i)
-        .collect();
+    let id: Vec<f64> = sweep.currents("vd").unwrap().iter().map(|i| -i).collect();
     // Monotone non-decreasing, zero below Vt, 180 µA at Vgs = 1 V.
     assert!(id.windows(2).all(|w| w[1] >= w[0] - 1e-12));
     assert!(id[4] < 1e-9, "below threshold at 0.2 V");
@@ -289,7 +289,10 @@ fn cmos_like_inverter_vtc_with_toy_models() {
     impl FetCurve for SquareLawPfet {
         fn ids(&self, vgs: f64, vds: f64) -> f64 {
             // p-type: conduct for vgs < −|vt|; mirror of the n-type.
-            let n = SquareLawNfet { k: self.k, vt: self.vt };
+            let n = SquareLawNfet {
+                k: self.k,
+                vt: self.vt,
+            };
             -n.ids(-vgs, -vds)
         }
     }
@@ -395,10 +398,11 @@ fn lc_tank_resonates_in_ac() {
         .collect();
     let ac = ckt.ac_sweep("vin", &freqs).unwrap();
     let mag = ac.magnitude("tank").unwrap();
-    let (k_peak, peak) = mag
-        .iter()
-        .enumerate()
-        .fold((0, 0.0), |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) });
+    let (k_peak, peak) =
+        mag.iter().enumerate().fold(
+            (0, 0.0),
+            |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) },
+        );
     let f_peak = freqs[k_peak];
     let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-3_f64 * 100e-9).sqrt());
     assert!(

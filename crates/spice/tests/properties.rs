@@ -1,9 +1,9 @@
 //! Property-based tests of the circuit simulator: conservation laws on
 //! random circuits, waveform envelopes, and parser robustness.
 
+use carbon_runtime::prop::prelude::*;
 use carbon_spice::parser::{parse_deck, parse_value};
 use carbon_spice::{Circuit, Waveform};
-use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -13,7 +13,7 @@ proptest! {
     /// from the node voltages.
     #[test]
     fn star_network_conserves_current(
-        rs in proptest::collection::vec(10.0_f64..1e6, 2..8),
+        rs in carbon_runtime::prop::vec(10.0_f64..1e6, 2..8),
         v in -10.0_f64..10.0,
     ) {
         let mut ckt = Circuit::new();
@@ -69,7 +69,7 @@ proptest! {
     /// values.
     #[test]
     fn pwl_within_hull(
-        vals in proptest::collection::vec(-5.0_f64..5.0, 2..6),
+        vals in carbon_runtime::prop::vec(-5.0_f64..5.0, 2..6),
         t in 0.0_f64..10.0,
     ) {
         let pts: Vec<(f64, f64)> = vals
@@ -86,7 +86,7 @@ proptest! {
 
     /// The deck parser never panics on arbitrary printable input.
     #[test]
-    fn parser_never_panics(deck in "[ -~\n]{0,200}") {
+    fn parser_never_panics(deck in carbon_runtime::prop::printable_ascii(0..201)) {
         let _ = parse_deck(&deck);
     }
 

@@ -80,7 +80,10 @@ mod tests {
 
     #[test]
     fn thermal_voltage_at_room_temperature() {
-        assert!((VT_300K - 0.025_85).abs() < 1e-4, "kT/q at 300 K ≈ 25.85 mV");
+        assert!(
+            (VT_300K - 0.025_85).abs() < 1e-4,
+            "kT/q at 300 K ≈ 25.85 mV"
+        );
     }
 
     #[test]

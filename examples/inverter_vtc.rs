@@ -32,12 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let nm_good = vtc_good.noise_margins();
     let nm_bad = vtc_bad.noise_margins();
-    println!("\nSaturating inverter   : max |gain| = {:.2}", vtc_good.max_abs_gain());
+    println!(
+        "\nSaturating inverter   : max |gain| = {:.2}",
+        vtc_good.max_abs_gain()
+    );
     println!(
         "                        NM_L = {:.2} V, NM_H = {:.2} V (paper: almost 0.4 V)",
         nm_good.low, nm_good.high
     );
-    println!("Non-saturating inverter: max |gain| = {:.2}", vtc_bad.max_abs_gain());
+    println!(
+        "Non-saturating inverter: max |gain| = {:.2}",
+        vtc_bad.max_abs_gain()
+    );
     println!(
         "                        NM_L = {:.2} V, NM_H = {:.2} V (paper: almost zero)",
         nm_bad.low, nm_bad.high

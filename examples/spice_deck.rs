@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // DC operating point (source at its offset, 0 V).
     let op = ckt.op()?;
-    println!("DC operating point: V(a) = {:.4} V, V(out) = {:.4} V", op.voltage("a")?, op.voltage("out")?);
+    println!(
+        "DC operating point: V(a) = {:.4} V, V(out) = {:.4} V",
+        op.voltage("a")?,
+        op.voltage("out")?
+    );
 
     // Transient: the clipper limits the 2 V sine to the diode drops.
     let tran = ckt.transient(5e-9, 3e-6)?;

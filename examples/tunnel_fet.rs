@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Forward branch: an ordinary diode the gate barely touches.
     let tfet = CntTfet::fig6();
     println!("forward (diode) branch, I(V_D) at three gate voltages:");
-    println!("{:>9} {:>13} {:>13} {:>13}", "V_D [V]", "V_G=-1 V", "V_G=0 V", "V_G=+0.5 V");
+    println!(
+        "{:>9} {:>13} {:>13} {:>13}",
+        "V_D [V]", "V_G=-1 V", "V_G=0 V", "V_G=+0.5 V"
+    );
     for k in 0..=6 {
         let vd = k as f64 * 0.08;
         println!(
@@ -38,6 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_half = report
         .reverse_transfer
         .bias_at_current(report.reverse_transfer.current()[0] / 100.0)?;
-    println!("gate voltage two decades below on-state: {:.2} V", Voltage::from_volts(v_half).volts());
+    println!(
+        "gate voltage two decades below on-state: {:.2} V",
+        Voltage::from_volts(v_half).volts()
+    );
     Ok(())
 }

@@ -7,13 +7,14 @@
 
 use carbon_electronics::experiments::fig7_stats;
 use carbon_electronics::fab::stats::histogram;
-use carbon_electronics::fab::{SortingProcess, SynthesisRecipe, VmrProcess, WaferModel, SelfAssembly};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use carbon_electronics::fab::{
+    SelfAssembly, SortingProcess, SynthesisRecipe, VmrProcess, WaferModel,
+};
+use carbon_runtime::Xoshiro256pp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 1: what synthesis gives you.
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
     let recipe = SynthesisRecipe::arc_discharge();
     let batch = recipe.sample_batch(&mut rng, 5000);
     let p0 = SynthesisRecipe::semiconducting_fraction(&batch);
@@ -28,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = process.run(p0, 4);
     println!("\n{} passes:", process.name());
     for (k, (p, y)) in run.purity.iter().zip(&run.cumulative_yield).enumerate() {
-        println!("  pass {k}: purity {:.5} %, material yield {:.1} %", p * 100.0, y * 100.0);
+        println!(
+            "  pass {k}: purity {:.5} %, material yield {:.1} %",
+            p * 100.0,
+            y * 100.0
+        );
     }
 
     // Step 3 + 4: place and measure 10,000 devices.
@@ -37,12 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // VMR: the imperfection-immune rescue.
     let vmr = VmrProcess::shulaker();
-    let out = vmr.simulate(
-        &mut rng,
-        &SelfAssembly::park_high_density(),
-        0.99,
-        20_000,
-    );
+    let out = vmr.simulate(&mut rng, &SelfAssembly::park_high_density(), 0.99, 20_000);
     println!(
         "VMR at 99 % ink: shorts {:.2} % → {:.3} %, functional {:.1} % → {:.1} %\n",
         out.shorts_before * 100.0,

@@ -14,6 +14,8 @@
 //! * [`logic`] — inverters, ring oscillators, the SUBNEG one-bit computer
 //! * [`fab`] — wafer-scale integration statistics and yield models
 //! * [`experiments`] — one module per paper figure/claim (`carbon-core`)
+//! * [`runtime`] — deterministic PRNG, distributions, and the parallel
+//!   Monte-Carlo/sweep executor underneath every stochastic experiment
 //!
 //! # Quickstart
 //!
@@ -36,5 +38,6 @@ pub use carbon_devices as devices;
 pub use carbon_electro as electro;
 pub use carbon_fab as fab;
 pub use carbon_logic as logic;
+pub use carbon_runtime as runtime;
 pub use carbon_spice as spice;
 pub use carbon_units as units;

@@ -10,8 +10,7 @@ use carbon_electronics::fab::{CircuitYield, SynthesisRecipe, VariabilityModel};
 use carbon_electronics::logic::Inverter;
 use carbon_electronics::spice::Circuit;
 use carbon_electronics::units::{Energy, Length, Resistance, Voltage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use carbon_runtime::Xoshiro256pp;
 
 #[test]
 fn chirality_to_circuit_pipeline() {
@@ -54,20 +53,23 @@ fn series_wrapped_table_model_in_an_inverter() {
     let r = Resistance::from_kilohms(5.5);
     let n_contacted = SeriesResistance::symmetric(Arc::new(n_live), r);
     let p_contacted = SeriesResistance::symmetric(Arc::new(p_live), r);
-    let n_fast = TableFet::sample(&n_contacted, (-0.2, 0.7), (-0.2, 0.7), 41, 41)
-        .expect("table builds");
-    let p_fast = TableFet::sample(&p_contacted, (-0.7, 0.2), (-0.7, 0.2), 41, 41)
-        .expect("table builds");
+    let n_fast =
+        TableFet::sample(&n_contacted, (-0.2, 0.7), (-0.2, 0.7), 41, 41).expect("table builds");
+    let p_fast =
+        TableFet::sample(&p_contacted, (-0.7, 0.2), (-0.7, 0.2), 41, 41).expect("table builds");
     let inv = Inverter::new(Arc::new(n_fast), Arc::new(p_fast), Voltage::from_volts(0.5))
         .expect("inverter builds");
     let vtc = inv.vtc(61).expect("vtc solves");
-    assert!(vtc.max_abs_gain() > 1.2, "even contacted CNTs regenerate at 0.5 V");
+    assert!(
+        vtc.max_abs_gain() > 1.2,
+        "even contacted CNTs regenerate at 0.5 V"
+    );
     assert!(vtc.vout()[0] > 0.45, "output high near the rail");
 }
 
 #[test]
 fn synthesis_statistics_feed_yield_model() {
-    let mut rng = StdRng::seed_from_u64(123);
+    let mut rng = Xoshiro256pp::seed_from_u64(123);
     let batch = SynthesisRecipe::arc_discharge().sample_batch(&mut rng, 3000);
     let purity = SynthesisRecipe::semiconducting_fraction(&batch);
     // Un-sorted material: computer yield is hopeless.

@@ -11,8 +11,7 @@ use carbon_electronics::fab::{ChiralitySeparation, SelfAssembly, SynthesisRecipe
 use carbon_electronics::logic::{GateTopology, RfStage, StaticGate};
 use carbon_electronics::spice::parser::parse_deck;
 use carbon_electronics::units::{Capacitance, Resistance, Voltage};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use carbon_runtime::Xoshiro256pp;
 
 #[test]
 fn rf_experiment_reproduces_the_schwierz_argument() {
@@ -60,7 +59,10 @@ fn deck_parser_to_all_four_analyses() {
     assert!((sweep.voltages("mid").expect("node")[10] - 0.5).abs() < 1e-6);
     let tran = ckt.transient(1e-7, 2e-5).expect("transient");
     let v_end = *tran.voltages("mid").expect("node").last().expect("points");
-    assert!((v_end - 0.5).abs() < 0.02, "settles to the divider: {v_end}");
+    assert!(
+        (v_end - 0.5).abs() < 0.02,
+        "settles to the divider: {v_end}"
+    );
     let ac = ckt.ac_sweep("v1", &[1e2, 1e5, 1e8]).expect("ac");
     let mag = ac.magnitude("mid").expect("node");
     assert!(mag[0] > 0.49 && mag[2] < 0.05, "low-pass divider");
@@ -69,11 +71,10 @@ fn deck_parser_to_all_four_analyses() {
 #[test]
 fn nand_nor_gates_work_with_tabulated_cnt_devices() {
     let n_live = BallisticFet::cnt_fig1().expect("builds");
-    let band =
-        carbon_electronics::band::CntBand::from_bandgap(
-            carbon_electronics::units::Energy::from_electron_volts(0.56),
-        )
-        .expect("gap ok");
+    let band = carbon_electronics::band::CntBand::from_bandgap(
+        carbon_electronics::units::Energy::from_electron_volts(0.56),
+    )
+    .expect("gap ok");
     let p_live = BallisticFet::builder(Arc::new(band))
         .threshold_voltage(0.3)
         .p_type()
@@ -103,7 +104,7 @@ fn nand_nor_gates_work_with_tabulated_cnt_devices() {
 
 #[test]
 fn vmr_then_yield_closes_the_loop() {
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Xoshiro256pp::seed_from_u64(31);
     let vmr = VmrProcess::shulaker();
     let out = vmr.simulate(&mut rng, &SelfAssembly::park_high_density(), 0.95, 20_000);
     assert!(out.functional_after > out.functional_before);
@@ -112,7 +113,7 @@ fn vmr_then_yield_closes_the_loop() {
 
 #[test]
 fn single_chirality_pipeline() {
-    let mut rng = StdRng::seed_from_u64(41);
+    let mut rng = Xoshiro256pp::seed_from_u64(41);
     let target = Chirality::new(13, 0).expect("valid");
     let recipe = SynthesisRecipe::new(
         target.diameter(),

@@ -15,7 +15,10 @@ fn fig1_cnt_and_gnr_theory_overlap_but_real_gnr_is_ohmic() {
     let fig = fig1::run().expect("fig1 runs");
     assert!(fig.transfer_log_gap < 0.8, "log-plot overlap");
     let [cnt, gnr_sim, real] = fig.saturation_figures;
-    assert!(cnt > 2.0 && gnr_sim > 2.0, "both simulated devices saturate");
+    assert!(
+        cnt > 2.0 && gnr_sim > 2.0,
+        "both simulated devices saturate"
+    );
     assert!(real < 1.8, "the measured-like GNR does not");
     assert!(fig.cnt_sat_ratio < 1.35, "current hardly changes 0.2→0.5 V");
 }
@@ -26,7 +29,10 @@ fn fig2_saturation_decides_whether_logic_works() {
     assert!(fig.max_gain[0] > 3.0 && fig.max_gain[1] < 1.0);
     assert!(fig.margins_saturating.low > 0.25 && fig.margins_saturating.high > 0.25);
     assert_eq!(
-        (fig.margins_non_saturating.low, fig.margins_non_saturating.high),
+        (
+            fig.margins_non_saturating.low,
+            fig.margins_non_saturating.high
+        ),
         (0.0, 0.0),
         "noise margin is almost zero"
     );
@@ -58,7 +64,10 @@ fn fig4_contact_resistance_reduces_and_linearizes() {
 #[test]
 fn fig5_cnt_sits_on_top_of_the_benchmark() {
     let fig = fig5::run().expect("fig5 runs");
-    assert!(fig.min_advantage > 1.0, "CNTFET outperforms the alternatives");
+    assert!(
+        fig.min_advantage > 1.0,
+        "CNTFET outperforms the alternatives"
+    );
     assert!(!fig.cnt.is_empty() && fig.references.len() == 3);
 }
 

@@ -11,7 +11,7 @@ use carbon_electronics::fab::{CircuitYield, SortingProcess};
 use carbon_electronics::spice::parser::parse_deck;
 use carbon_electronics::spice::{Circuit, FetCurve, Waveform};
 use carbon_electronics::units::{Energy, Resistance, Temperature};
-use proptest::prelude::*;
+use carbon_runtime::prop::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -178,7 +178,7 @@ proptest! {
     }
 }
 
-/// The ballistic CNT device: monotone transfer for random device builds.
+// The ballistic CNT device: monotone transfer for random device builds.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
