@@ -23,4 +23,16 @@ run cargo test --workspace -q --offline
 # measurement cost.
 run cargo bench --offline -- --test
 
+# Opt-in benchmark regression gate: measure the solver group for real
+# and diff it against the committed baseline, failing on >10 % median
+# regressions. Off by default — timings are only meaningful on a quiet
+# machine. Regenerate the baseline with:
+#   cargo bench --offline -p carbon-bench --bench solver
+#   cp target/carbon-bench/solver.jsonl benches/baseline/solver.jsonl
+if [[ "${CARBON_BENCH_COMPARE:-0}" == "1" ]]; then
+  run cargo bench --offline -p carbon-bench --bench solver
+  run cargo run --offline --release -p carbon-bench --bin carbon-bench -- \
+    compare benches/baseline/solver.jsonl target/carbon-bench/solver.jsonl
+fi
+
 echo "CI OK"

@@ -18,12 +18,20 @@ fn main() {
         });
     }
 
-    for n in [2usize, 8, 24] {
+    for n in [8usize, 24, 64] {
         let ckt = diode_chain(n);
         h.bench(&format!("newton_diode_chain/{n}"), || {
             black_box(ckt.op().expect("solvable"));
         });
     }
+
+    // The Fig. 2 voltage-transfer curve — the paper workload that the
+    // warm-started sweep and the parallel ladder path serve directly
+    // (65 points crosses the `vtc` parallel threshold).
+    let inv = carbon_logic::Inverter::fig2_saturating();
+    h.bench("fig2_vtc_trace_65pt", || {
+        black_box(inv.vtc(65).expect("sweeps"));
+    });
 
     let ckt = resistor_ladder(16);
     h.bench("dc_sweep_100pt", || {

@@ -1,0 +1,87 @@
+//! Benchmark snapshot tooling.
+//!
+//! ```text
+//! carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]
+//! ```
+//!
+//! Diffs two harness snapshots (as written to
+//! `target/carbon-bench/<group>.jsonl` by the bench binaries) and exits
+//! nonzero when any benchmark's median regressed more than the
+//! threshold (default 10 %). `ci.sh` runs this against the committed
+//! baseline in `benches/baseline/` when `CARBON_BENCH_COMPARE=1`.
+
+use std::process::ExitCode;
+
+use carbon_bench::compare::{compare, parse_jsonl};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => run_compare(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = 0.10_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                return usage();
+            };
+            if !(pct.is_finite() && pct >= 0.0) {
+                return usage();
+            }
+            threshold = pct / 100.0;
+        } else {
+            paths.push(a);
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        return usage();
+    };
+
+    let mut snapshots = Vec::with_capacity(2);
+    for path in [old_path, new_path] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("carbon-bench: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_jsonl(&text) {
+            Ok(records) => snapshots.push(records),
+            Err(e) => {
+                eprintln!("carbon-bench: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cmp = compare(&snapshots[0], &snapshots[1], threshold);
+    print!("{cmp}");
+    let regressions = cmp.regressions();
+    if regressions.is_empty() {
+        println!(
+            "no regressions past {:.0} % across {} benchmark(s)",
+            threshold * 100.0,
+            cmp.deltas.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{} benchmark(s) regressed past {:.0} %",
+            regressions.len(),
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}

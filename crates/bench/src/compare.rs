@@ -1,0 +1,273 @@
+//! Regression comparison of two benchmark JSONL snapshots.
+//!
+//! The harness ([`carbon_runtime::bench`]) appends one JSON object per
+//! benchmark to `target/carbon-bench/<group>.jsonl`. This module parses
+//! those lines (the writer emits a fixed, flat shape — no external JSON
+//! dependency needed) and diffs two snapshots: the `carbon-bench`
+//! binary's `compare` subcommand exits nonzero when any benchmark's
+//! median regresses past a threshold, which `ci.sh` can opt into via
+//! `CARBON_BENCH_COMPARE=1`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One benchmark record parsed from a JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Benchmark id, e.g. `"solver/newton_diode_chain/24"`.
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: u64,
+}
+
+/// Error parsing a benchmark JSONL snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Extracts a JSON string field (`"key":"..."`) from a flat object,
+/// un-escaping the sequences the harness writer produces.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                esc => out.push(esc),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a JSON unsigned-integer field (`"key":123`).
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses a benchmark snapshot (one JSON object per non-empty line).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for any line missing the `id` or `median_ns`
+/// fields.
+pub fn parse_jsonl(text: &str) -> Result<Vec<BenchRecord>, ParseError> {
+    let mut records = Vec::new();
+    for (k, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = string_field(line, "id").ok_or_else(|| ParseError {
+            line: k + 1,
+            reason: "missing \"id\" string field".into(),
+        })?;
+        let median_ns = u64_field(line, "median_ns").ok_or_else(|| ParseError {
+            line: k + 1,
+            reason: "missing \"median_ns\" integer field".into(),
+        })?;
+        records.push(BenchRecord { id, median_ns });
+    }
+    Ok(records)
+}
+
+/// One row of a snapshot comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Benchmark id present in both snapshots.
+    pub id: String,
+    /// Baseline median, ns.
+    pub old_ns: u64,
+    /// Candidate median, ns.
+    pub new_ns: u64,
+    /// Relative change, `new/old − 1` (positive = slower).
+    pub change: f64,
+}
+
+/// Outcome of diffing two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-benchmark deltas for ids present in both snapshots, in
+    /// baseline order.
+    pub deltas: Vec<Delta>,
+    /// Ids only in the baseline (removed benchmarks).
+    pub only_old: Vec<String>,
+    /// Ids only in the candidate (new benchmarks).
+    pub only_new: Vec<String>,
+    /// Regression threshold the comparison was run with.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// Deltas whose median regressed beyond the threshold.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.change > self.threshold)
+            .collect()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<44} {:>12} {:>12} {:>9}",
+            "benchmark", "old median", "new median", "change"
+        )?;
+        for d in &self.deltas {
+            let flag = if d.change > self.threshold {
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            writeln!(
+                f,
+                "{:<44} {:>10}ns {:>10}ns {:>+8.1}%{flag}",
+                d.id,
+                d.old_ns,
+                d.new_ns,
+                d.change * 100.0
+            )?;
+        }
+        for id in &self.only_old {
+            writeln!(f, "{id:<44} (removed — only in baseline)")?;
+        }
+        for id in &self.only_new {
+            writeln!(f, "{id:<44} (new — not in baseline)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Diffs `new` against the `old` baseline, flagging medians that grew
+/// more than `threshold` (e.g. `0.10` = 10 % slower).
+///
+/// Duplicate ids within one snapshot keep the last occurrence, matching
+/// "append and re-run" harness usage.
+pub fn compare(old: &[BenchRecord], new: &[BenchRecord], threshold: f64) -> Comparison {
+    let new_by_id: BTreeMap<&str, u64> = new.iter().map(|r| (r.id.as_str(), r.median_ns)).collect();
+    let old_by_id: BTreeMap<&str, u64> = old.iter().map(|r| (r.id.as_str(), r.median_ns)).collect();
+
+    let mut seen = std::collections::BTreeSet::new();
+    let mut deltas = Vec::new();
+    let mut only_old = Vec::new();
+    for r in old {
+        if !seen.insert(r.id.as_str()) {
+            continue;
+        }
+        let old_ns = old_by_id[r.id.as_str()];
+        match new_by_id.get(r.id.as_str()) {
+            Some(&new_ns) => deltas.push(Delta {
+                id: r.id.clone(),
+                old_ns,
+                new_ns,
+                change: if old_ns == 0 {
+                    0.0
+                } else {
+                    new_ns as f64 / old_ns as f64 - 1.0
+                },
+            }),
+            None => only_old.push(r.id.clone()),
+        }
+    }
+    let mut only_new: Vec<String> = new
+        .iter()
+        .filter(|r| !old_by_id.contains_key(r.id.as_str()))
+        .map(|r| r.id.clone())
+        .collect();
+    only_new.dedup();
+    Comparison {
+        deltas,
+        only_old,
+        only_new,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, ns: u64) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            median_ns: ns,
+        }
+    }
+
+    #[test]
+    fn parses_harness_output() {
+        let text = "{\"id\":\"solver/op/8\",\"median_ns\":2763,\"min_ns\":2659,\"max_ns\":3193,\"iters\":10000}\n\n{\"id\":\"a\\\"b\",\"median_ns\":5}\n";
+        let recs = parse_jsonl(text).unwrap();
+        assert_eq!(recs, vec![rec("solver/op/8", 2763), rec("a\"b", 5)]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_jsonl("{\"id\":\"x\"}").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("median_ns"));
+        assert!(parse_jsonl("{\"median_ns\":3}").is_err());
+    }
+
+    #[test]
+    fn flags_only_regressions_past_threshold() {
+        let old = [rec("a", 1000), rec("b", 1000), rec("c", 1000)];
+        let new = [rec("a", 1099), rec("b", 1250), rec("c", 400)];
+        let cmp = compare(&old, &new, 0.10);
+        let regs = cmp.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].id, "b");
+        assert!((regs[0].change - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_added_and_removed_benchmarks() {
+        let old = [rec("gone", 10), rec("kept", 10)];
+        let new = [rec("kept", 10), rec("fresh", 10)];
+        let cmp = compare(&old, &new, 0.10);
+        assert_eq!(cmp.only_old, vec!["gone".to_string()]);
+        assert_eq!(cmp.only_new, vec!["fresh".to_string()]);
+        assert_eq!(cmp.deltas.len(), 1);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn display_marks_regressions() {
+        let cmp = compare(&[rec("slow/one", 100)], &[rec("slow/one", 200)], 0.10);
+        let text = cmp.to_string();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("+100.0%"), "{text}");
+    }
+}

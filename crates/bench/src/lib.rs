@@ -11,6 +11,8 @@
 
 #![deny(missing_docs)]
 
+pub mod compare;
+
 use carbon_spice::Circuit;
 
 /// Builds an `n`-stage resistor ladder driven by 1 V — the standard

@@ -122,6 +122,51 @@ impl carbon_spice::FetCurve for TableFet {
     fn ids(&self, vgs: f64, vds: f64) -> f64 {
         self.lookup(vgs, vds)
     }
+
+    fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
+        assert_eq!(out.len(), bias.len(), "output length must match bias");
+        // Hoist the grid geometry out of the loop. Every expression
+        // mirrors `lookup` exactly (same operands, same order), so each
+        // output stays bit-identical to the scalar path — the batch only
+        // shares the field loads and window subtractions.
+        let wx = self.vgs_hi - self.vgs_lo;
+        let wy = self.vds_hi - self.vds_lo;
+        let gx = (self.n_vgs - 1) as f64;
+        let gy = (self.n_vds - 1) as f64;
+        let (i_max, j_max) = (self.n_vgs - 2, self.n_vds - 2);
+        let n_vds = self.n_vds;
+        let data = &self.data[..];
+        for (o, &(vgs, vds)) in out.iter_mut().zip(bias) {
+            let x = ((vgs - self.vgs_lo) / wx * gx).clamp(0.0, gx);
+            let y = ((vds - self.vds_lo) / wy * gy).clamp(0.0, gy);
+            let i0 = (x.floor() as usize).min(i_max);
+            let j0 = (y.floor() as usize).min(j_max);
+            let fx = x - i0 as f64;
+            let fy = y - j0 as f64;
+            let at = |i: usize, j: usize| data[i * n_vds + j];
+            *o = at(i0, j0) * (1.0 - fx) * (1.0 - fy)
+                + at(i0 + 1, j0) * fx * (1.0 - fy)
+                + at(i0, j0 + 1) * (1.0 - fx) * fy
+                + at(i0 + 1, j0 + 1) * fx * fy;
+        }
+    }
+
+    fn eval(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        // One batched lookup for the value and the four-point central
+        // difference stencil. `H` and the difference quotients must match
+        // the `FetCurve::gm_gds` default so results stay bit-identical.
+        const H: f64 = 1e-3;
+        let bias = [
+            (vgs, vds),
+            (vgs + H, vds),
+            (vgs - H, vds),
+            (vgs, vds + H),
+            (vgs, vds - H),
+        ];
+        let mut i = [0.0; 5];
+        self.ids_batch(&bias, &mut i);
+        (i[0], (i[1] - i[2]) / (2.0 * H), (i[3] - i[4]) / (2.0 * H))
+    }
 }
 
 impl Fet for TableFet {
@@ -194,6 +239,35 @@ mod tests {
                 (exact - approx).abs() < 0.05 * exact.abs().max(1e-9),
                 "({vg}, {vd})"
             );
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar() {
+        let inner = AlphaPowerFet::fig2_nfet();
+        let table = TableFet::sample(&inner, (0.0, 1.0), (0.0, 1.0), 17, 17).unwrap();
+        // Includes out-of-window points to exercise the clamp path.
+        let bias: Vec<(f64, f64)> = [-0.4, 0.0, 0.131, 0.5, 0.977, 1.0, 1.6]
+            .iter()
+            .flat_map(|&vg| [-0.2, 0.013, 0.49, 1.0, 1.3].map(|vd| (vg, vd)))
+            .collect();
+        let mut out = vec![0.0; bias.len()];
+        table.ids_batch(&bias, &mut out);
+        for (&(vg, vd), &got) in bias.iter().zip(&out) {
+            assert_eq!(got.to_bits(), table.ids(vg, vd).to_bits(), "({vg}, {vd})");
+        }
+    }
+
+    #[test]
+    fn eval_is_bit_identical_to_composed_default() {
+        let inner = AlphaPowerFet::fig2_nfet();
+        let table = TableFet::sample(&inner, (0.0, 1.0), (0.0, 1.0), 17, 17).unwrap();
+        for (vg, vd) in [(0.2, 0.9), (0.55, 0.01), (1.4, 0.5), (-0.3, 1.2)] {
+            let (id, gm, gds) = table.eval(vg, vd);
+            let (gm_d, gds_d) = table.gm_gds(vg, vd);
+            assert_eq!(id.to_bits(), table.ids(vg, vd).to_bits());
+            assert_eq!(gm.to_bits(), gm_d.to_bits(), "gm ({vg}, {vd})");
+            assert_eq!(gds.to_bits(), gds_d.to_bits(), "gds ({vg}, {vd})");
         }
     }
 

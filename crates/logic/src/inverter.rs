@@ -125,7 +125,14 @@ impl Inverter {
         let n = n.max(8);
         let ckt = self.circuit()?;
         let step = self.vdd / (n - 1) as f64;
-        let sweep = ckt.dc_sweep("vin", 0.0, self.vdd, step)?;
+        // Dense curves fan out over the runtime executor in fixed chunks
+        // (deterministic at any thread count); short sweeps stay serial
+        // where the warm-start chain alone is cheapest.
+        let sweep = if n >= 64 {
+            ckt.dc_sweep_par("vin", 0.0, self.vdd, step, 16)?
+        } else {
+            ckt.dc_sweep("vin", 0.0, self.vdd, step)?
+        };
         let vin = sweep.sweep_values().to_vec();
         let vout = sweep.voltages("out")?;
         let supply_current = sweep
@@ -255,6 +262,14 @@ impl carbon_spice::FetCurve for FetRef {
     }
     fn gm_gds(&self, vgs: f64, vds: f64) -> (f64, f64) {
         self.0.gm_gds(vgs, vds)
+    }
+    // Forward the batched entry points too, so a table model's shared
+    // clamp/index fast path survives the trait-object indirection.
+    fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
+        self.0.ids_batch(bias, out);
+    }
+    fn eval(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        self.0.eval(vgs, vds)
     }
 }
 
@@ -499,6 +514,42 @@ mod tests {
             .unwrap();
         let avg = d.average().picoseconds();
         assert!((2.0..80.0).contains(&avg), "avg delay {avg} ps");
+    }
+
+    #[test]
+    fn warm_start_strictly_cuts_fig2_sweep_iterations() {
+        // The Fig. 2 deck is the canonical consumer of the warm-started
+        // sweep: adjacent bias points have nearby solutions, so seeding
+        // each point from the last must save Newton iterations over
+        // solving every point from scratch — and produce the same curve.
+        use carbon_spice::SweepOptions;
+        let inv = Inverter::fig2_saturating();
+        let ckt = inv.circuit().unwrap();
+        let warm = ckt
+            .dc_sweep_with("vin", 0.0, 1.0, 0.01, SweepOptions::default())
+            .unwrap();
+        let cold = ckt
+            .dc_sweep_with(
+                "vin",
+                0.0,
+                1.0,
+                0.01,
+                SweepOptions {
+                    warm_start: false,
+                    ..SweepOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            warm.total_newton_iterations() < cold.total_newton_iterations(),
+            "warm {} must beat cold {}",
+            warm.total_newton_iterations(),
+            cold.total_newton_iterations()
+        );
+        let (vw, vc) = (warm.voltages("out").unwrap(), cold.voltages("out").unwrap());
+        for (a, b) in vw.iter().zip(vc) {
+            assert!((a - b).abs() < 1e-7, "curves must agree: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -234,6 +234,14 @@ impl carbon_spice::FetCurve for FetRef {
     fn gm_gds(&self, vgs: f64, vds: f64) -> (f64, f64) {
         self.0.gm_gds(vgs, vds)
     }
+    // Forward the batched entry points too, so a table model's shared
+    // clamp/index fast path survives the trait-object indirection.
+    fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
+        self.0.ids_batch(bias, out);
+    }
+    fn eval(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        self.0.eval(vgs, vds)
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,232 @@
 //! The Newton–Raphson MNA core shared by all analyses.
 
-use crate::element::{diode_iv, ElementKind};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::element::{diode_iv, diode_vcrit, pnjlim, ElementKind, FetCurve};
 use crate::error::SpiceError;
-use crate::linalg::DenseMatrix;
+use crate::linalg::{DenseMatrix, Stamp};
 use crate::netlist::{Circuit, NodeId};
+use crate::sparse::{SparseLu, SparseMatrix};
+
+/// Unknown count below which the dense solver is used: at inverter-scale
+/// systems the dense factorization fits in cache and beats the sparse
+/// path's indirection, and keeping small circuits on the PR 1 dense code
+/// preserves their results bit-for-bit.
+pub(crate) const SPARSE_THRESHOLD: usize = 16;
+
+/// Reusable MNA solve state for one circuit topology: the system matrix
+/// (dense or sparse by size), the RHS/trial buffers, and — on the sparse
+/// path — the cached symbolic analysis and pivot order that later Newton
+/// iterations refactor against.
+///
+/// Building one workspace per analysis (not per Newton iteration) is
+/// what turns the sparse symbolic work into a one-time cost across a
+/// whole sweep.
+pub(crate) struct MnaWorkspace {
+    matrix: MnaMatrix,
+    /// RHS vector, rebuilt every iteration.
+    z: Vec<f64>,
+    /// Trial solution buffer.
+    x_new: Vec<f64>,
+    /// Unknown-name table shared (by `Arc`) with every `OpResult` this
+    /// workspace produces, so sweeps don't re-allocate the same strings
+    /// at every bias point.
+    pub names: Arc<NameTable>,
+    /// Per-element junction voltage loaded at the previous Newton
+    /// iteration (diode slots only) — the `vold` of SPICE's
+    /// [`pnjlim`] limiting, re-seeded from the iterate at the start of
+    /// every [`newton_solve`] call.
+    junction_v: Vec<f64>,
+    /// Per-element critical junction voltage (diode slots only),
+    /// precomputed so the stamp loop doesn't re-derive the logarithm.
+    vcrit: Vec<f64>,
+}
+
+/// Names of the node-voltage and branch-current unknowns, in unknown
+/// order — the lookup tables behind `OpResult::voltage` and
+/// `OpResult::source_current`.
+#[derive(Debug)]
+pub(crate) struct NameTable {
+    pub node_names: Vec<String>,
+    pub branch_names: Vec<String>,
+}
+
+impl NameTable {
+    fn for_circuit(circuit: &Circuit) -> Self {
+        let node_names = (1..=circuit.num_nodes())
+            .map(|i| circuit.node_name(NodeId(i)).to_owned())
+            .collect();
+        let mut branch_names = vec![String::new(); circuit.num_branches];
+        for e in &circuit.elements {
+            match e.kind {
+                ElementKind::VoltageSource { branch, .. }
+                | ElementKind::Inductor { branch, .. } => {
+                    branch_names[branch] = e.name.clone();
+                }
+                _ => {}
+            }
+        }
+        Self {
+            node_names,
+            branch_names,
+        }
+    }
+}
+
+enum MnaMatrix {
+    Dense(DenseMatrix),
+    Sparse { a: SparseMatrix, lu: Box<SparseLu> },
+}
+
+/// Interior-mutable, per-[`Circuit`] cache of the solver workspace, so
+/// repeated `op()`/`transient()` calls on one circuit pay the sparse
+/// symbolic analysis (pattern + ordering + first-factor fill discovery)
+/// once instead of per call. The netlist builder invalidates it on any
+/// topology change (new node, new element); value-only edits such as
+/// [`Circuit::set_source_value`] keep it valid.
+pub(crate) struct SolverCache(Mutex<Option<MnaWorkspace>>);
+
+impl SolverCache {
+    /// Empties the cache — called by the builder on topology changes.
+    pub fn invalidate(&mut self) {
+        *self.0.get_mut().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Locks the cache for an analysis. A poisoned lock (a stamp panic
+    /// in another thread) is recovered by discarding the possibly
+    /// half-updated workspace.
+    pub fn lock(&self) -> MutexGuard<'_, Option<MnaWorkspace>> {
+        self.0.lock().unwrap_or_else(|poison| {
+            let mut guard = poison.into_inner();
+            *guard = None;
+            guard
+        })
+    }
+}
+
+impl Default for SolverCache {
+    fn default() -> Self {
+        Self(Mutex::new(None))
+    }
+}
+
+impl Clone for SolverCache {
+    /// Cloned circuits start cold: a workspace is cheap to rebuild next
+    /// to sharing a lock between independent clones (the parallel sweep
+    /// clones circuits precisely to keep solver state private).
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for SolverCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SolverCache")
+    }
+}
+
+impl MnaWorkspace {
+    /// Builds the workspace for a circuit: dense below
+    /// [`SPARSE_THRESHOLD`] unknowns, otherwise sparse with the stamp
+    /// pattern and fill-reducing ordering computed once here.
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.num_unknowns();
+        let matrix = if n < SPARSE_THRESHOLD {
+            MnaMatrix::Dense(DenseMatrix::zeros(n))
+        } else {
+            let a = SparseMatrix::from_entries(n, &collect_pattern(circuit));
+            let lu = Box::new(SparseLu::new(&a));
+            MnaMatrix::Sparse { a, lu }
+        };
+        let mut vcrit = vec![0.0; circuit.elements.len()];
+        for (idx, e) in circuit.elements.iter().enumerate() {
+            if let ElementKind::Diode {
+                i_s, n_ideality, ..
+            } = e.kind
+            {
+                vcrit[idx] = diode_vcrit(i_s, n_ideality);
+            }
+        }
+        Self {
+            matrix,
+            z: vec![0.0; n],
+            x_new: vec![0.0; n],
+            names: Arc::new(NameTable::for_circuit(circuit)),
+            junction_v: vec![0.0; circuit.elements.len()],
+            vcrit,
+        }
+    }
+}
+
+/// Every `(row, col)` position the circuit's elements can ever stamp,
+/// across DC *and* transient (companion) forms, plus the gmin node
+/// diagonals — the fixed sparsity pattern of the MNA system.
+fn collect_pattern(circuit: &Circuit) -> Vec<(usize, usize)> {
+    let n_nodes = circuit.num_nodes();
+    let mut pat: Vec<(usize, usize)> = Vec::new();
+    // gmin anchors every node diagonal.
+    for i in 0..n_nodes {
+        pat.push((i, i));
+    }
+    let conductance = |p: NodeId, n: NodeId, pat: &mut Vec<(usize, usize)>| {
+        if let Some(i) = p.unknown_index() {
+            pat.push((i, i));
+            if let Some(j) = n.unknown_index() {
+                pat.push((i, j));
+                pat.push((j, i));
+            }
+        }
+        if let Some(j) = n.unknown_index() {
+            pat.push((j, j));
+        }
+    };
+    let incidence = |p: NodeId, n: NodeId, bi: usize, pat: &mut Vec<(usize, usize)>| {
+        if let Some(i) = p.unknown_index() {
+            pat.push((i, bi));
+            pat.push((bi, i));
+        }
+        if let Some(j) = n.unknown_index() {
+            pat.push((j, bi));
+            pat.push((bi, j));
+        }
+    };
+    for e in &circuit.elements {
+        match &e.kind {
+            ElementKind::Resistor { p, n, .. } | ElementKind::Capacitor { p, n, .. } => {
+                conductance(*p, *n, &mut pat);
+            }
+            ElementKind::Inductor { p, n, branch, .. } => {
+                let bi = n_nodes + branch;
+                incidence(*p, *n, bi, &mut pat);
+                // Transient companion stamps −r_eq on the branch diagonal.
+                pat.push((bi, bi));
+            }
+            ElementKind::VoltageSource { p, n, branch, .. } => {
+                incidence(*p, *n, n_nodes + branch, &mut pat);
+            }
+            ElementKind::CurrentSource { .. } => {}
+            ElementKind::Diode { p, n, .. } => conductance(*p, *n, &mut pat),
+            ElementKind::Vccs { p, n, cp, cn, .. } => {
+                for r in [p.unknown_index(), n.unknown_index()] {
+                    for c in [cp.unknown_index(), cn.unknown_index()] {
+                        if let (Some(r), Some(c)) = (r, c) {
+                            pat.push((r, c));
+                        }
+                    }
+                }
+            }
+            ElementKind::Fet { d, g, s, .. } => {
+                let (di, gi, si) = (d.unknown_index(), g.unknown_index(), s.unknown_index());
+                for (r, c) in [(di, gi), (di, di), (di, si), (si, gi), (si, di), (si, si)] {
+                    if let (Some(r), Some(c)) = (r, c) {
+                        pat.push((r, c));
+                    }
+                }
+            }
+        }
+    }
+    pat
+}
 
 /// Newton solver tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -26,7 +249,12 @@ impl Default for NewtonOptions {
             abstol_v: 1e-9,
             reltol: 1e-6,
             gmin: 1e-12,
-            vstep_limit: 0.5,
+            // Unlimited by default: junction voltages are limited
+            // individually by `pnjlim`, which converges exponential
+            // ladders in a fraction of the iterations a global
+            // node-voltage clamp needs. Fallback strategies (transient
+            // retry, continuation) drop this to damp cycling models.
+            vstep_limit: f64::INFINITY,
         }
     }
 }
@@ -157,15 +385,21 @@ fn node_v(id: NodeId, x: &[f64]) -> f64 {
 
 /// Runs Newton iteration on the MNA system at a fixed time point.
 ///
+/// * `ws` is the per-topology solve state from
+///   [`MnaWorkspace::for_circuit`] (matrix, factors, buffers), reused
+///   across iterations, bias points, and time steps;
 /// * `time = None` → DC (capacitors open);
 /// * `caps = Some(..)` → transient companions (must cover every
 ///   capacitor, prepared for the current step);
 /// * `source_scale` multiplies all independent sources (source stepping);
 /// * `gmin` is the node-to-ground leak used on this attempt.
 ///
-/// On success `x` holds the converged solution.
+/// On success `x` holds the converged solution and the iteration count
+/// is returned.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve(
     circuit: &Circuit,
+    ws: &mut MnaWorkspace,
     x: &mut [f64],
     time: Option<f64>,
     caps: Option<(&[CapCompanion], &[IndCompanion])>,
@@ -176,18 +410,75 @@ pub(crate) fn newton_solve(
     let n_unknowns = circuit.num_unknowns();
     debug_assert_eq!(x.len(), n_unknowns);
     let n_nodes = circuit.num_nodes();
-    let mut a = DenseMatrix::zeros(n_unknowns);
-    let mut z = vec![0.0; n_unknowns];
+
+    // Seed the junction-limiting state from the incoming iterate so a
+    // warm start passes through pnjlim untouched on its first iteration.
+    for (jv, e) in ws.junction_v.iter_mut().zip(&circuit.elements) {
+        if let ElementKind::Diode { p, n, .. } = e.kind {
+            *jv = node_v(p, x) - node_v(n, x);
+        }
+    }
+    // With no seed at all (`x` identically zero), a junction's zero-bias
+    // conductance is below `gmin` and the first linear solve tells Newton
+    // nothing about the diodes. SPICE's junction initialization: evaluate
+    // every junction at its critical voltage on the first iteration so
+    // the exponentials enter the Jacobian from the start.
+    let init_junctions = x.iter().all(|&v| v == 0.0);
 
     for iter in 0..opts.max_iter {
-        a.clear();
+        let z = &mut ws.z;
+        let x_new = &mut ws.x_new;
+        let junction_v = &mut ws.junction_v;
+        let vcrit = &ws.vcrit;
+        let init = iter == 0 && init_junctions;
         z.fill(0.0);
-        stamp_all(circuit, x, time, caps, source_scale, &mut a, &mut z);
-        for i in 0..n_nodes {
-            a.add(i, i, gmin);
+        match &mut ws.matrix {
+            MnaMatrix::Dense(a) => {
+                a.clear();
+                stamp_all(
+                    circuit,
+                    x,
+                    time,
+                    caps,
+                    source_scale,
+                    a,
+                    z,
+                    junction_v,
+                    vcrit,
+                    init,
+                );
+                for i in 0..n_nodes {
+                    a.add(i, i, gmin);
+                }
+                x_new.copy_from_slice(z);
+                a.solve_in_place(x_new)?;
+            }
+            MnaMatrix::Sparse { a, lu } => {
+                a.clear();
+                stamp_all(
+                    circuit,
+                    x,
+                    time,
+                    caps,
+                    source_scale,
+                    a,
+                    z,
+                    junction_v,
+                    vcrit,
+                    init,
+                );
+                for i in 0..n_nodes {
+                    a.add(i, i, gmin);
+                }
+                if lu.is_factored() {
+                    lu.refactor(a)?;
+                } else {
+                    lu.factor(a)?;
+                }
+                x_new.copy_from_slice(z);
+                lu.solve(x_new);
+            }
         }
-        let mut x_new = z.clone();
-        a.solve_in_place(&mut x_new)?;
 
         // Largest update; voltage damping applies to node unknowns only.
         let mut dv_max = 0.0_f64;
@@ -207,16 +498,25 @@ pub(crate) fn newton_solve(
             }
         }
         if converged {
-            x.copy_from_slice(&x_new);
+            x.copy_from_slice(x_new);
             return Ok(iter + 1);
         }
         if dv_max > opts.vstep_limit {
-            let scale = opts.vstep_limit / dv_max;
-            for i in 0..n_unknowns {
-                x[i] += scale * (x_new[i] - x[i]);
+            // Damp per component: each node voltage moves at most
+            // `vstep_limit` towards its Newton target, but nodes with
+            // small updates move in full. A single far-from-converged
+            // node (e.g. a supply ramping from the zero seed) therefore
+            // doesn't stall the rest of the circuit, which roughly
+            // halves the iteration count on supply-fed ladders compared
+            // to scaling the whole update vector. Branch currents
+            // follow the voltages and are not clamped.
+            for i in 0..n_nodes {
+                let dv = x_new[i] - x[i];
+                x[i] += dv.clamp(-opts.vstep_limit, opts.vstep_limit);
             }
+            x[n_nodes..n_unknowns].copy_from_slice(&x_new[n_nodes..n_unknowns]);
         } else {
-            x.copy_from_slice(&x_new);
+            x.copy_from_slice(x_new);
         }
     }
     Err(SpiceError::NonConvergence {
@@ -231,18 +531,25 @@ pub(crate) fn newton_solve(
 }
 
 /// Stamps every element into `(a, z)` linearized at the iterate `x`.
-fn stamp_all(
+///
+/// Generic over the [`Stamp`] sink so the same element code fills the
+/// dense and the sparse matrix.
+#[allow(clippy::too_many_arguments)]
+fn stamp_all<S: Stamp>(
     circuit: &Circuit,
     x: &[f64],
     time: Option<f64>,
     caps: Option<(&[CapCompanion], &[IndCompanion])>,
     source_scale: f64,
-    a: &mut DenseMatrix,
+    a: &mut S,
     z: &mut [f64],
+    junction_v: &mut [f64],
+    vcrit: &[f64],
+    init_junctions: bool,
 ) {
     let n_nodes = circuit.num_nodes();
     // Conductance stamp between two nodes.
-    let stamp_g = |a: &mut DenseMatrix, p: NodeId, n: NodeId, g: f64| {
+    let stamp_g = |a: &mut S, p: NodeId, n: NodeId, g: f64| {
         if let Some(i) = p.unknown_index() {
             a.add(i, i, g);
             if let Some(j) = n.unknown_index() {
@@ -332,7 +639,19 @@ fn stamp_all(
                 i_s,
                 n_ideality,
             } => {
-                let v = node_v(*p, x) - node_v(*n, x);
+                // pnjlim: load the exponential at a limited junction
+                // voltage so the chain turns on in logarithmic steps
+                // instead of one junction per iteration. The limiter is
+                // a no-op within 2·vt of the previous loaded voltage, so
+                // converged solutions are exactly the unlimited ones.
+                let v_iter = if init_junctions {
+                    vcrit[idx]
+                } else {
+                    node_v(*p, x) - node_v(*n, x)
+                };
+                let vt = n_ideality * 0.02585;
+                let v = pnjlim(v_iter, junction_v[idx], vt, vcrit[idx]);
+                junction_v[idx] = v;
                 let (i_d, g_d) = diode_iv(v, *i_s, *n_ideality);
                 stamp_g(a, *p, *n, g_d);
                 stamp_i(z, *p, *n, i_d - g_d * v);
@@ -355,8 +674,9 @@ fn stamp_all(
             ElementKind::Fet { d, g, s, model } => {
                 let vgs = node_v(*g, x) - node_v(*s, x);
                 let vds = node_v(*d, x) - node_v(*s, x);
-                let id = model.ids(vgs, vds);
-                let (gm, gds) = model.gm_gds(vgs, vds);
+                // One combined-eval dispatch: table models batch the
+                // value and its finite-difference stencil.
+                let (id, gm, gds) = model.eval(vgs, vds);
                 // Guard against pathological derivative signs breaking
                 // the Jacobian: clamp to a tiny positive floor.
                 let gds = gds.max(1e-12);

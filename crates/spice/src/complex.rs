@@ -176,7 +176,7 @@ impl ComplexMatrix {
                 .iter()
                 .fold(0.0_f64, |m, v| m.max(v.norm1()));
             if row_max == 0.0 {
-                return Err(SpiceError::SingularMatrix { row: r });
+                return Err(SpiceError::SingularMatrix { row: r, pivot: 0.0 });
             }
             let inv = Complex::new(1.0 / row_max, 0.0);
             for v in &mut self.data[r * n..(r + 1) * n] {
@@ -195,7 +195,10 @@ impl ComplexMatrix {
                 }
             }
             if pivot_val < 1e-13 {
-                return Err(SpiceError::SingularMatrix { row: k });
+                return Err(SpiceError::SingularMatrix {
+                    row: k,
+                    pivot: pivot_val,
+                });
             }
             if pivot_row != k {
                 for c in 0..n {

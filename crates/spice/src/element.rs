@@ -41,6 +41,37 @@ pub trait FetCurve: Send + Sync {
         let gds = (self.ids(vgs, vds + H) - self.ids(vgs, vds - H)) / (2.0 * H);
         (gm, gds)
     }
+
+    /// Drain current for a batch of `(vgs, vds)` bias points, writing
+    /// into `out` (same length as `bias`).
+    ///
+    /// The default loops over [`ids`](Self::ids); table-backed models
+    /// override to amortize clamp/index math across the batch. Each
+    /// output must be **bit-identical** to the corresponding scalar
+    /// `ids` call — batching is a speedup, never a numerics change.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != bias.len()`.
+    fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
+        for (o, &(vgs, vds)) in out.iter_mut().zip(bias) {
+            *o = self.ids(vgs, vds);
+        }
+    }
+
+    /// Current and both derivatives in one call: `(ids, gm, gds)`.
+    ///
+    /// This is what the Newton stamp uses — one virtual dispatch per
+    /// FET per iteration instead of two, and models can share the
+    /// evaluation work between the value and its finite-difference
+    /// stencil. The default composes [`ids`](Self::ids) and
+    /// [`gm_gds`](Self::gm_gds), so overriding models must stay
+    /// bit-identical to that composition.
+    fn eval(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        let id = self.ids(vgs, vds);
+        let (gm, gds) = self.gm_gds(vgs, vds);
+        (id, gm, gds)
+    }
 }
 
 impl<T: FetCurve + ?Sized> FetCurve for Arc<T> {
@@ -49,6 +80,12 @@ impl<T: FetCurve + ?Sized> FetCurve for Arc<T> {
     }
     fn gm_gds(&self, vgs: f64, vds: f64) -> (f64, f64) {
         (**self).gm_gds(vgs, vds)
+    }
+    fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
+        (**self).ids_batch(bias, out);
+    }
+    fn eval(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        (**self).eval(vgs, vds)
     }
 }
 
@@ -177,6 +214,39 @@ pub(crate) fn diode_iv(v: f64, i_s: f64, n_ideality: f64) -> (f64, f64) {
         let e = x.exp();
         (i_s * (e - 1.0), (i_s * e / vt).max(1e-15))
     }
+}
+
+/// SPICE-style junction voltage limiting (`pnjlim`): bounds how far a
+/// junction's loaded voltage may move in one Newton iteration once it is
+/// past its critical voltage, turning the junction on in logarithmic
+/// steps instead of letting the exponential stall the whole iteration.
+///
+/// `vnew` is this iteration's candidate junction voltage, `vold` the
+/// voltage actually loaded last iteration. Near a fixed point
+/// (`|vnew − vold| ≤ 2·vt`) the candidate passes through unchanged, so
+/// limiting never distorts a converged solution.
+pub(crate) fn pnjlim(vnew: f64, vold: f64, vt: f64, vcrit: f64) -> f64 {
+    if vnew > vcrit && (vnew - vold).abs() > 2.0 * vt {
+        if vold > 0.0 {
+            let arg = 1.0 + (vnew - vold) / vt;
+            if arg > 0.0 {
+                vold + vt * arg.ln()
+            } else {
+                vcrit
+            }
+        } else {
+            vt * (vnew / vt).ln()
+        }
+    } else {
+        vnew
+    }
+}
+
+/// Critical voltage for [`pnjlim`]: the junction voltage at which the
+/// exponential's curvature overtakes the linearization.
+pub(crate) fn diode_vcrit(i_s: f64, n_ideality: f64) -> f64 {
+    let vt = n_ideality * 0.02585;
+    vt * (vt / (std::f64::consts::SQRT_2 * i_s)).ln()
 }
 
 #[cfg(test)]

@@ -33,6 +33,9 @@ pub enum SpiceError {
         /// Row index at which elimination failed — usually maps to the
         /// offending node.
         row: usize,
+        /// Magnitude of the offending pivot on the row-equilibrated
+        /// matrix (0.0 for a structurally empty row).
+        pivot: f64,
     },
     /// Newton iteration failed to converge even with gmin and source
     /// stepping.
@@ -63,9 +66,10 @@ impl std::fmt::Display for SpiceError {
             }
             Self::UnknownNode { name } => write!(f, "unknown node '{name}'"),
             Self::UnknownSource { name } => write!(f, "unknown source '{name}'"),
-            Self::SingularMatrix { row } => write!(
+            Self::SingularMatrix { row, pivot } => write!(
                 f,
-                "singular MNA matrix at row {row} (floating node or source loop)"
+                "singular MNA matrix at row {row}: equilibrated pivot |{pivot:.3e}| below \
+                 tolerance (floating node or source loop)"
             ),
             Self::NonConvergence {
                 analysis,
@@ -98,9 +102,13 @@ mod tests {
         assert!(SpiceError::UnknownNode { name: "out".into() }
             .to_string()
             .contains("out"));
-        assert!(SpiceError::SingularMatrix { row: 3 }
-            .to_string()
-            .contains("row 3"));
+        let singular = SpiceError::SingularMatrix {
+            row: 3,
+            pivot: 4.5e-16,
+        }
+        .to_string();
+        assert!(singular.contains("row 3"), "{singular}");
+        assert!(singular.contains("4.500e-16"), "{singular}");
     }
 
     #[test]

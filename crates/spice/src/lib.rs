@@ -5,9 +5,12 @@
 //! without a commercial simulator: a modified-nodal-analysis (MNA)
 //! engine with
 //!
-//! * dense LU factorization with partial pivoting ([`linalg`]),
+//! * dense LU factorization with partial pivoting ([`linalg`]) plus a
+//!   sparse LU path with cached symbolic analysis and numeric
+//!   refactorization that takes over for larger systems ([`sparse`]),
 //! * Newton–Raphson iteration with voltage-step damping, gmin stepping
-//!   and source stepping for hard operating points ([`analysis`]),
+//!   and source stepping for hard operating points, warm-started across
+//!   sweep points with step-halving source continuation ([`analysis`]),
 //! * DC operating point, DC sweeps, and transient analysis
 //!   (backward-Euler start-up, trapezoidal integration thereafter),
 //! * element stamps for resistors, capacitors, independent sources
@@ -47,10 +50,11 @@ pub mod linalg;
 pub mod netlist;
 pub mod parser;
 pub mod runner;
+pub mod sparse;
 pub mod waveform;
 
 pub use analysis::ac::AcResult;
-pub use analysis::{OpResult, SweepResult, TranResult};
+pub use analysis::{OpResult, SweepOptions, SweepResult, TranResult};
 pub use complex::Complex;
 pub use element::FetCurve;
 pub use error::SpiceError;

@@ -1,16 +1,35 @@
 //! Dense linear algebra for the MNA system: an `n × n` matrix with LU
 //! factorization and partial pivoting.
 //!
-//! The circuits in this workspace are small (an inverter is 4 unknowns, a
-//! ring oscillator a few dozen), so a dense solver is both simpler and
-//! faster than a sparse one; the `solver` Criterion bench tracks its
-//! scaling so the trade-off stays visible.
+//! The dense solver is the workhorse for small circuits (an inverter is
+//! 4 unknowns) and the reference oracle for the sparse path in
+//! [`sparse`](crate::sparse), which takes over for larger systems where
+//! the O(n³) factorization dominates; the `solver` bench tracks both so
+//! the crossover stays visible.
 //!
 //! Gaussian elimination is written index-based on purpose; the
 //! iterator forms clippy suggests obscure the row/column structure.
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::SpiceError;
+
+/// The MNA *stamp* sink: anything element stamps can accumulate into.
+///
+/// Implemented by [`DenseMatrix`] and
+/// [`SparseMatrix`](crate::sparse::SparseMatrix) so the element-stamping
+/// code in the Newton engine is written once and works against either
+/// backend.
+pub trait Stamp {
+    /// Adds `value` to entry `(row, col)`.
+    fn add(&mut self, row: usize, col: usize, value: f64);
+}
+
+impl Stamp for DenseMatrix {
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, value: f64) {
+        DenseMatrix::add(self, row, col, value);
+    }
+}
 
 /// A dense square matrix stored row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,7 +114,7 @@ impl DenseMatrix {
                 .iter()
                 .fold(0.0_f64, |m, &v| m.max(v.abs()));
             if row_max == 0.0 {
-                return Err(SpiceError::SingularMatrix { row: r });
+                return Err(SpiceError::SingularMatrix { row: r, pivot: 0.0 });
             }
             let inv = 1.0 / row_max;
             for v in &mut self.data[r * n..(r + 1) * n] {
@@ -116,7 +135,10 @@ impl DenseMatrix {
                 }
             }
             if pivot_val < tol {
-                return Err(SpiceError::SingularMatrix { row: k });
+                return Err(SpiceError::SingularMatrix {
+                    row: k,
+                    pivot: pivot_val,
+                });
             }
             if pivot_row != k {
                 for c in 0..n {
@@ -202,6 +224,35 @@ mod tests {
             a.solve_in_place(&mut b),
             Err(SpiceError::SingularMatrix { .. })
         ));
+    }
+
+    #[test]
+    fn singularity_error_reports_pivot_index_and_magnitude() {
+        // Rank-1 matrix: elimination of row 0 leaves row 1 with no pivot.
+        let mut a = DenseMatrix::zeros(2);
+        a.add(0, 0, 1.0);
+        a.add(0, 1, 2.0);
+        a.add(1, 0, 2.0);
+        a.add(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        let err = a.solve_in_place(&mut b).unwrap_err();
+        let SpiceError::SingularMatrix { row, pivot } = err else {
+            panic!("expected SingularMatrix, got {err:?}");
+        };
+        assert_eq!(row, 1, "elimination fails at the second pivot");
+        assert!(pivot < 1e-13, "pivot magnitude reported: {pivot}");
+        let msg = SpiceError::SingularMatrix { row, pivot }.to_string();
+        assert!(msg.contains("row 1"), "{msg}");
+        assert!(msg.contains("pivot"), "{msg}");
+    }
+
+    #[test]
+    fn empty_row_reports_zero_pivot() {
+        let mut a = DenseMatrix::zeros(2);
+        a.add(0, 0, 1.0);
+        let mut b = vec![1.0, 1.0];
+        let err = a.solve_in_place(&mut b).unwrap_err();
+        assert_eq!(err, SpiceError::SingularMatrix { row: 1, pivot: 0.0 });
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::analysis::SolverCache;
 use crate::element::{Element, ElementKind, FetCurve};
 use crate::error::SpiceError;
 use crate::waveform::Waveform;
@@ -32,25 +33,16 @@ impl NodeId {
 /// are the reference node. Element names must be unique.
 ///
 /// See the [crate-level example](crate) for usage.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Circuit {
     node_names: Vec<String>,
     node_index: HashMap<String, NodeId>,
     pub(crate) elements: Vec<Element>,
     element_index: HashMap<String, usize>,
     pub(crate) num_branches: usize,
-}
-
-impl Clone for Circuit {
-    fn clone(&self) -> Self {
-        Self {
-            node_names: self.node_names.clone(),
-            node_index: self.node_index.clone(),
-            elements: self.elements.clone(),
-            element_index: self.element_index.clone(),
-            num_branches: self.num_branches,
-        }
-    }
+    /// Cached solver workspace for this topology (cold in clones,
+    /// invalidated whenever a node or element is added).
+    pub(crate) solver_cache: SolverCache,
 }
 
 impl Circuit {
@@ -71,6 +63,7 @@ impl Circuit {
         let id = NodeId(self.node_names.len() + 1);
         self.node_names.push(lower.clone());
         self.node_index.insert(lower, id);
+        self.solver_cache.invalidate();
         id
     }
 
@@ -119,6 +112,7 @@ impl Circuit {
         }
         self.element_index.insert(name.clone(), self.elements.len());
         self.elements.push(Element { name, kind });
+        self.solver_cache.invalidate();
         Ok(())
     }
 
