@@ -23,6 +23,28 @@ run cargo test --workspace -q --offline
 # measurement cost.
 run cargo bench --offline -- --test
 
+# Trace smoke: the instrumentation layer must (a) lint clean on its
+# own, (b) leave report output byte-identical when enabled at any
+# thread count, and (c) emit JSONL that trace-summary can aggregate.
+run cargo clippy --offline -p carbon-trace --all-targets -- -D warnings
+run cargo build --offline --release -p carbon-bench --bin carbon-bench
+bench_bin=target/release/carbon-bench
+trace_dir=$(mktemp -d)
+trap 'rm -rf "$trace_dir"' EXIT
+echo "==> trace smoke: fig2 byte-identity + trace-summary"
+CARBON_THREADS=1 "$bench_bin" fig2 > "$trace_dir/untraced.txt"
+for t in 1 2 4 8; do
+  CARBON_THREADS=$t CARBON_TRACE="$trace_dir/fig2-$t.jsonl" \
+    "$bench_bin" fig2 > "$trace_dir/traced-$t.txt"
+  diff "$trace_dir/untraced.txt" "$trace_dir/traced-$t.txt" \
+    || { echo "fig2 report changed under CARBON_TRACE (threads=$t)"; exit 1; }
+  [[ -s "$trace_dir/fig2-$t.jsonl" ]] \
+    || { echo "no trace written at threads=$t"; exit 1; }
+  "$bench_bin" trace-summary "$trace_dir/fig2-$t.jsonl" > "$trace_dir/summary-$t.jsonl"
+  grep -q '"id":"trace/spice.newton_solve/dur_ns"' "$trace_dir/summary-$t.jsonl" \
+    || { echo "trace summary missing newton spans (threads=$t)"; exit 1; }
+done
+
 # Opt-in benchmark regression gate: measure the solver group for real
 # and diff it against the committed baseline, failing on >10 % median
 # regressions. Off by default — timings are only meaningful on a quiet

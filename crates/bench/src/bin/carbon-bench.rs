@@ -1,21 +1,36 @@
-//! Benchmark snapshot tooling.
+//! Benchmark snapshot and trace tooling.
 //!
 //! ```text
 //! carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]
+//! carbon-bench trace-summary <trace.jsonl>
+//! carbon-bench fig2
 //! ```
 //!
-//! Diffs two harness snapshots (as written to
+//! `compare` diffs two harness snapshots (as written to
 //! `target/carbon-bench/<group>.jsonl` by the bench binaries) and exits
 //! nonzero when any benchmark's median regressed more than the
-//! threshold (default 10 %). `ci.sh` runs this against the committed
+//! threshold (default 10 %) *and* escaped the baseline's recorded
+//! min..max noise band. `ci.sh` runs this against the committed
 //! baseline in `benches/baseline/` when `CARBON_BENCH_COMPARE=1`.
+//!
+//! `trace-summary` folds a `CARBON_TRACE` JSONL event stream into the
+//! same schema `compare` consumes (span duration stats, integer-field
+//! stats, counter totals), printed to stdout.
+//!
+//! `fig2` runs the Fig. 2 experiment and prints its report — a small,
+//! deterministic traced-run target for the CI trace smoke test.
 
 use std::process::ExitCode;
 
 use carbon_bench::compare::{compare, parse_jsonl};
+use carbon_bench::summary::summarize;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]");
+    eprintln!(
+        "usage: carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]\n       \
+         carbon-bench trace-summary <trace.jsonl>\n       \
+         carbon-bench fig2"
+    );
     ExitCode::from(2)
 }
 
@@ -23,7 +38,48 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compare") => run_compare(&args[1..]),
+        Some("trace-summary") => run_trace_summary(&args[1..]),
+        Some("fig2") => run_fig2(),
         _ => usage(),
+    }
+}
+
+fn run_trace_summary(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("carbon-bench: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let summary = summarize(&text);
+    print!("{summary}");
+    if summary.stats.is_empty() {
+        eprintln!("carbon-bench: {path}: no trace events recognized");
+        return ExitCode::from(2);
+    }
+    if summary.skipped > 0 {
+        eprintln!(
+            "carbon-bench: {path}: {} unrecognized line(s) skipped",
+            summary.skipped
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_fig2() -> ExitCode {
+    match carbon_core::fig2::run() {
+        Ok(fig) => {
+            print!("{fig}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("carbon-bench: fig2: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

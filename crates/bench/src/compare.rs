@@ -18,6 +18,11 @@ pub struct BenchRecord {
     pub id: String,
     /// Median time per iteration, nanoseconds.
     pub median_ns: u64,
+    /// Fastest iteration, ns — lower edge of the run's noise band
+    /// (absent in snapshots from harnesses that did not record it).
+    pub min_ns: Option<u64>,
+    /// Slowest iteration, ns — upper edge of the run's noise band.
+    pub max_ns: Option<u64>,
 }
 
 /// Error parsing a benchmark JSONL snapshot.
@@ -39,7 +44,7 @@ impl std::error::Error for ParseError {}
 
 /// Extracts a JSON string field (`"key":"..."`) from a flat object,
 /// un-escaping the sequences the harness writer produces.
-fn string_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn string_field(line: &str, key: &str) -> Option<String> {
     let tag = format!("\"{key}\":\"");
     let start = line.find(&tag)? + tag.len();
     let rest = &line[start..];
@@ -65,7 +70,7 @@ fn string_field(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extracts a JSON unsigned-integer field (`"key":123`).
-fn u64_field(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn u64_field(line: &str, key: &str) -> Option<u64> {
     let tag = format!("\"{key}\":");
     let start = line.find(&tag)? + tag.len();
     let digits: String = line[start..]
@@ -96,7 +101,12 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<BenchRecord>, ParseError> {
             line: k + 1,
             reason: "missing \"median_ns\" integer field".into(),
         })?;
-        records.push(BenchRecord { id, median_ns });
+        records.push(BenchRecord {
+            id,
+            median_ns,
+            min_ns: u64_field(line, "min_ns"),
+            max_ns: u64_field(line, "max_ns"),
+        });
     }
     Ok(records)
 }
@@ -112,6 +122,20 @@ pub struct Delta {
     pub new_ns: u64,
     /// Relative change, `new/old − 1` (positive = slower).
     pub change: f64,
+    /// Baseline noise band (min..max over the baseline run's
+    /// iterations), when the baseline snapshot recorded one.
+    pub old_band: Option<(u64, u64)>,
+}
+
+impl Delta {
+    /// Whether this delta is a regression at `threshold`: the median
+    /// must have grown past the threshold **and** landed outside the
+    /// baseline's own min..max noise band (when one was recorded).
+    /// A noisy benchmark whose baseline band already covers the new
+    /// median is jitter, not a regression.
+    pub fn regressed(&self, threshold: f64) -> bool {
+        self.change > threshold && self.old_band.is_none_or(|(_, max)| self.new_ns > max)
+    }
 }
 
 /// Outcome of diffing two snapshots.
@@ -129,11 +153,12 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Deltas whose median regressed beyond the threshold.
+    /// Deltas whose median regressed beyond the threshold *and* the
+    /// baseline's noise band (see [`Delta::regressed`]).
     pub fn regressions(&self) -> Vec<&Delta> {
         self.deltas
             .iter()
-            .filter(|d| d.change > self.threshold)
+            .filter(|d| d.regressed(self.threshold))
             .collect()
     }
 }
@@ -146,8 +171,10 @@ impl fmt::Display for Comparison {
             "benchmark", "old median", "new median", "change"
         )?;
         for d in &self.deltas {
-            let flag = if d.change > self.threshold {
+            let flag = if d.regressed(self.threshold) {
                 "  REGRESSED"
+            } else if d.change > self.threshold {
+                "  within noise band"
             } else {
                 ""
             };
@@ -177,7 +204,7 @@ impl fmt::Display for Comparison {
 /// "append and re-run" harness usage.
 pub fn compare(old: &[BenchRecord], new: &[BenchRecord], threshold: f64) -> Comparison {
     let new_by_id: BTreeMap<&str, u64> = new.iter().map(|r| (r.id.as_str(), r.median_ns)).collect();
-    let old_by_id: BTreeMap<&str, u64> = old.iter().map(|r| (r.id.as_str(), r.median_ns)).collect();
+    let old_by_id: BTreeMap<&str, &BenchRecord> = old.iter().map(|r| (r.id.as_str(), r)).collect();
 
     let mut seen = std::collections::BTreeSet::new();
     let mut deltas = Vec::new();
@@ -186,7 +213,8 @@ pub fn compare(old: &[BenchRecord], new: &[BenchRecord], threshold: f64) -> Comp
         if !seen.insert(r.id.as_str()) {
             continue;
         }
-        let old_ns = old_by_id[r.id.as_str()];
+        let old_rec = old_by_id[r.id.as_str()];
+        let old_ns = old_rec.median_ns;
         match new_by_id.get(r.id.as_str()) {
             Some(&new_ns) => deltas.push(Delta {
                 id: r.id.clone(),
@@ -197,6 +225,7 @@ pub fn compare(old: &[BenchRecord], new: &[BenchRecord], threshold: f64) -> Comp
                 } else {
                     new_ns as f64 / old_ns as f64 - 1.0
                 },
+                old_band: old_rec.min_ns.zip(old_rec.max_ns),
             }),
             None => only_old.push(r.id.clone()),
         }
@@ -223,6 +252,17 @@ mod tests {
         BenchRecord {
             id: id.into(),
             median_ns: ns,
+            min_ns: None,
+            max_ns: None,
+        }
+    }
+
+    fn rec_band(id: &str, ns: u64, min: u64, max: u64) -> BenchRecord {
+        BenchRecord {
+            id: id.into(),
+            median_ns: ns,
+            min_ns: Some(min),
+            max_ns: Some(max),
         }
     }
 
@@ -230,7 +270,10 @@ mod tests {
     fn parses_harness_output() {
         let text = "{\"id\":\"solver/op/8\",\"median_ns\":2763,\"min_ns\":2659,\"max_ns\":3193,\"iters\":10000}\n\n{\"id\":\"a\\\"b\",\"median_ns\":5}\n";
         let recs = parse_jsonl(text).unwrap();
-        assert_eq!(recs, vec![rec("solver/op/8", 2763), rec("a\"b", 5)]);
+        assert_eq!(
+            recs,
+            vec![rec_band("solver/op/8", 2763, 2659, 3193), rec("a\"b", 5)]
+        );
     }
 
     #[test]
@@ -261,6 +304,31 @@ mod tests {
         assert_eq!(cmp.only_new, vec!["fresh".to_string()]);
         assert_eq!(cmp.deltas.len(), 1);
         assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn noise_band_suppresses_jitter_regressions() {
+        // Median grew 20 % but stays inside the baseline's own observed
+        // min..max spread: jitter, not a regression.
+        let old = [rec_band("noisy", 1000, 800, 1300)];
+        let new = [rec("noisy", 1200)];
+        let cmp = compare(&old, &new, 0.10);
+        assert!(cmp.regressions().is_empty(), "{cmp}");
+        assert!(cmp.to_string().contains("within noise band"), "{cmp}");
+
+        // Past both the threshold and the band: a real regression.
+        let cmp = compare(&old, &[rec("noisy", 1400)], 0.10);
+        assert_eq!(cmp.regressions().len(), 1);
+
+        // Inside the band but below the threshold: nothing flagged.
+        let cmp = compare(&old, &[rec("noisy", 1050)], 0.10);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn missing_band_falls_back_to_flat_threshold() {
+        let cmp = compare(&[rec("a", 1000)], &[rec("a", 1150)], 0.10);
+        assert_eq!(cmp.regressions().len(), 1, "no band recorded: gate flat");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 #![deny(missing_docs)]
 
 pub mod compare;
+pub mod summary;
 
 use carbon_spice::Circuit;
 
@@ -87,5 +88,33 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn ladder_rejects_zero() {
         let _ = resistor_ladder(0);
+    }
+
+    #[test]
+    fn diode_chain_24_converges_within_twelve_cold_iterations() {
+        // The solver bench's `newton_diode_chain/24` workload, observed
+        // through the trace layer: a cold-start Newton solve of the
+        // 24-junction chain must converge in at most 12 iterations.
+        // More means the damping/limiting strategy regressed even if
+        // wall-clock medians stayed inside the noise band.
+        use carbon_trace::collect::Collector;
+
+        let collector = Collector::new();
+        let op = carbon_trace::with_subscriber(collector.clone(), || diode_chain(24).op());
+        op.expect("solvable");
+
+        let iters = collector.span_field("spice.newton_solve", "iters");
+        assert!(!iters.is_empty(), "solve emitted no newton spans");
+        for v in &iters {
+            let n = v.as_u64().expect("iters is an integer field");
+            assert!(n <= 12, "cold-start Newton took {n} iterations");
+        }
+        let converged = collector.span_field("spice.newton_solve", "converged");
+        assert!(
+            converged
+                .iter()
+                .all(|v| *v == carbon_trace::Value::Bool(true)),
+            "all recorded solves converged"
+        );
     }
 }

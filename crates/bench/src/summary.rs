@@ -1,0 +1,292 @@
+//! Aggregation of a `carbon-trace` JSONL file into benchmark records.
+//!
+//! `carbon-bench trace-summary <trace.jsonl>` folds a raw event stream
+//! (one JSON object per span / instant / counter, as written by the
+//! `CARBON_TRACE` exporter) into the same flat JSONL schema the bench
+//! harness emits and [`crate::compare`] consumes:
+//!
+//! ```text
+//! {"id":"trace/spice.newton_solve/dur_ns","median_ns":8100,"min_ns":7300,"max_ns":9800,"iters":101}
+//! {"id":"trace/spice.newton_solve/iters","median_ns":3,"min_ns":2,"max_ns":9,"iters":101}
+//! {"id":"trace/counter/spice.sparse.replay","median_ns":97,"min_ns":97,"max_ns":97,"iters":97}
+//! ```
+//!
+//! Span durations and integer span fields become median/min/max rows
+//! (`iters` = number of spans observed); counters and instants become
+//! total rows. The payoff: a captured trace can be diffed against a
+//! committed baseline with the exact `compare` machinery that gates
+//! wall-clock benchmarks, so a convergence regression (more Newton
+//! iterations, more repivots) fails CI the same way a slowdown does.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::compare::{string_field, u64_field};
+
+/// One aggregated statistic from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStat {
+    /// Record id, e.g. `"trace/spice.newton_solve/dur_ns"`.
+    pub id: String,
+    /// Median of the observations (totals for counters/instants).
+    pub median: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Number of observations folded in.
+    pub count: u64,
+}
+
+impl TraceStat {
+    fn from_samples(id: String, samples: &mut [u64]) -> Self {
+        samples.sort_unstable();
+        Self {
+            id,
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            count: samples.len() as u64,
+        }
+    }
+
+    /// Renders the stat as one harness-schema JSONL line (no newline).
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iters\":{}}}",
+            self.id, self.median, self.min, self.max, self.count
+        )
+    }
+}
+
+/// A summarized trace: every statistic, sorted by id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Aggregated rows in id order (deterministic output).
+    pub stats: Vec<TraceStat>,
+    /// Events whose line could not be classified (unknown `ev` value or
+    /// missing mandatory key). Zero on a well-formed trace.
+    pub skipped: usize,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stats {
+            writeln!(f, "{}", s.render())?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the integer-valued entries of the `"fields":{...}` object
+/// of a trace line. Floats, strings, bools and nulls are skipped —
+/// only counts (Newton iterations, repivots, queue depths) are
+/// meaningful to aggregate.
+fn integer_fields(line: &str) -> Vec<(String, u64)> {
+    let Some(start) = line.find("\"fields\":{") else {
+        return Vec::new();
+    };
+    let body = &line[start + "\"fields\":{".len()..];
+    let mut out = Vec::new();
+    let mut rest = body;
+    // Each iteration consumes one `"key":value` pair.
+    while let Some(key_start) = rest.find('"') {
+        let after_key = &rest[key_start + 1..];
+        let Some(key_end) = find_string_end(after_key) else {
+            break;
+        };
+        let key = &after_key[..key_end];
+        let Some(value) = after_key[key_end + 1..].strip_prefix(':') else {
+            break;
+        };
+        if let Some(string_value) = value.strip_prefix('"') {
+            // String value: skip past its closing quote.
+            let Some(end) = find_string_end(string_value) else {
+                break;
+            };
+            rest = &string_value[end + 1..];
+        } else {
+            let literal: &str = value.split_terminator([',', '}']).next().unwrap_or("");
+            if !literal.is_empty() && literal.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(v) = literal.parse::<u64>() {
+                    out.push((key.to_owned(), v));
+                }
+            }
+            rest = &value[literal.len()..];
+        }
+        match rest.as_bytes().first() {
+            Some(b',') => rest = &rest[1..],
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Index of the closing quote of a JSON string whose opening quote has
+/// already been consumed, honoring backslash escapes.
+fn find_string_end(s: &str) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Aggregates a trace JSONL text into benchmark-schema statistics.
+pub fn summarize(text: &str) -> TraceSummary {
+    let mut span_durs: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut span_fields: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
+    let mut counters: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+    let mut skipped = 0usize;
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let classified = (|| {
+            let ev = string_field(line, "ev")?;
+            let name = string_field(line, "name")?;
+            match ev.as_str() {
+                "span" => {
+                    let dur = u64_field(line, "dur_ns")?;
+                    span_durs.entry(name.clone()).or_default().push(dur);
+                    for (key, value) in integer_fields(line) {
+                        span_fields
+                            .entry((name.clone(), key))
+                            .or_default()
+                            .push(value);
+                    }
+                }
+                "counter" => {
+                    let delta = u64_field(line, "delta")?;
+                    let slot = counters.entry(name).or_insert((0, 0));
+                    slot.0 += delta;
+                    slot.1 += 1;
+                }
+                "instant" => *instants.entry(name).or_insert(0) += 1,
+                _ => return None,
+            }
+            Some(())
+        })();
+        if classified.is_none() {
+            skipped += 1;
+        }
+    }
+
+    let mut stats = Vec::new();
+    for (name, mut durs) in span_durs {
+        stats.push(TraceStat::from_samples(
+            format!("trace/{name}/dur_ns"),
+            &mut durs,
+        ));
+    }
+    for ((name, key), mut values) in span_fields {
+        stats.push(TraceStat::from_samples(
+            format!("trace/{name}/{key}"),
+            &mut values,
+        ));
+    }
+    for (name, (total, hits)) in counters {
+        stats.push(TraceStat {
+            id: format!("trace/counter/{name}"),
+            median: total,
+            min: total,
+            max: total,
+            count: hits,
+        });
+    }
+    for (name, hits) in instants {
+        stats.push(TraceStat {
+            id: format!("trace/instant/{name}"),
+            median: hits,
+            min: hits,
+            max: hits,
+            count: hits,
+        });
+    }
+    stats.sort_by(|a, b| a.id.cmp(&b.id));
+    TraceSummary { stats, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = concat!(
+        "{\"ev\":\"span\",\"name\":\"spice.newton_solve\",\"id\":1,\"thread\":1,",
+        "\"start_ns\":0,\"dur_ns\":900,\"fields\":{\"iters\":3,\"converged\":true,",
+        "\"residual\":1.2e-10,\"matrix\":\"dense\"}}\n",
+        "{\"ev\":\"span\",\"name\":\"spice.newton_solve\",\"id\":2,\"thread\":1,",
+        "\"start_ns\":1000,\"dur_ns\":500,\"fields\":{\"iters\":9}}\n",
+        "{\"ev\":\"span\",\"name\":\"spice.newton_solve\",\"id\":3,\"thread\":2,",
+        "\"start_ns\":1200,\"dur_ns\":700,\"fields\":{\"iters\":4}}\n",
+        "{\"ev\":\"counter\",\"name\":\"spice.sparse.replay\",\"delta\":2,\"thread\":1}\n",
+        "{\"ev\":\"counter\",\"name\":\"spice.sparse.replay\",\"delta\":3,\"thread\":2}\n",
+        "{\"ev\":\"instant\",\"name\":\"spice.continuation_halve\",\"thread\":1,",
+        "\"at_ns\":50,\"fields\":{\"depth\":1}}\n",
+    );
+
+    #[test]
+    fn aggregates_span_durations_and_fields() {
+        let summary = summarize(TRACE);
+        assert_eq!(summary.skipped, 0);
+        let by_id: BTreeMap<&str, &TraceStat> =
+            summary.stats.iter().map(|s| (s.id.as_str(), s)).collect();
+
+        let dur = by_id["trace/spice.newton_solve/dur_ns"];
+        assert_eq!(
+            (dur.median, dur.min, dur.max, dur.count),
+            (700, 500, 900, 3)
+        );
+
+        let iters = by_id["trace/spice.newton_solve/iters"];
+        assert_eq!((iters.median, iters.min, iters.max), (4, 3, 9));
+
+        let replays = by_id["trace/counter/spice.sparse.replay"];
+        assert_eq!((replays.median, replays.count), (5, 2));
+
+        let halvings = by_id["trace/instant/spice.continuation_halve"];
+        assert_eq!(halvings.median, 1);
+
+        // Non-integer fields (bool, float, string) are not aggregated.
+        assert!(!by_id.contains_key("trace/spice.newton_solve/converged"));
+        assert!(!by_id.contains_key("trace/spice.newton_solve/residual"));
+        assert!(!by_id.contains_key("trace/spice.newton_solve/matrix"));
+    }
+
+    #[test]
+    fn output_is_compare_compatible_and_sorted() {
+        let summary = summarize(TRACE);
+        let rendered = summary.to_string();
+        let parsed = crate::compare::parse_jsonl(&rendered).expect("schema round-trips");
+        assert_eq!(parsed.len(), summary.stats.len());
+        let ids: Vec<&str> = summary.stats.iter().map(|s| s.id.as_str()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        // Diffing a summary against itself gates clean.
+        let cmp = crate::compare::compare(&parsed, &parsed, 0.10);
+        assert!(cmp.regressions().is_empty());
+    }
+
+    #[test]
+    fn unknown_events_are_counted_not_fatal() {
+        let summary = summarize("{\"ev\":\"mystery\",\"name\":\"x\"}\nnot json\n");
+        assert_eq!(summary.skipped, 2);
+        assert!(summary.stats.is_empty());
+    }
+
+    #[test]
+    fn field_scanner_survives_tricky_strings() {
+        let line = "{\"ev\":\"span\",\"name\":\"s\",\"id\":1,\"thread\":1,\"start_ns\":0,\
+                    \"dur_ns\":1,\"fields\":{\"label\":\"a,}\\\"b\",\"n\":7}}";
+        assert_eq!(integer_fields(line), vec![("n".to_owned(), 7)]);
+    }
+}

@@ -44,6 +44,7 @@ pub struct Fig2 {
 ///
 /// Propagates circuit-simulation failures.
 pub fn run() -> Result<Fig2, CoreError> {
+    let mut fig_span = carbon_trace::span!("core.fig2");
     let good = Inverter::fig2_saturating();
     let bad = Inverter::fig2_non_saturating();
     let vtc_saturating = good.vtc(101)?;
@@ -62,6 +63,12 @@ pub fn run() -> Result<Fig2, CoreError> {
         Capacitance::from_femtofarads(10.0),
         Time::from_nanoseconds(1.0),
     )?;
+    if fig_span.is_live() {
+        fig_span.record("vtc_points", vtc_saturating.vin().len());
+        fig_span.record("max_gain_sat", max_gain[0]);
+        fig_span.record("max_gain_nonsat", max_gain[1]);
+        fig_span.record("stage_delay_ps", delays.average().seconds() * 1e12);
+    }
     Ok(Fig2 {
         vtc_saturating,
         vtc_non_saturating,

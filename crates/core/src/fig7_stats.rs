@@ -50,6 +50,7 @@ pub const CAMPAIGN_SEED: u64 = 2014;
 /// This experiment is deterministic and cannot fail at runtime; the
 /// `Result` keeps the interface uniform with the other experiments.
 pub fn run() -> Result<Fig7Stats, CoreError> {
+    let mut campaign_span = carbon_trace::span!("core.fig7_campaign");
     let model = VariabilityModel::park_experiment();
     let population = model.sample_population_par(CAMPAIGN_SEED, CAMPAIGN_SIZE);
     let fractions = [
@@ -58,6 +59,12 @@ pub fn run() -> Result<Fig7Stats, CoreError> {
         population.empty_fraction(),
     ];
     let vt_stats = population.vt_statistics();
+    if campaign_span.is_live() {
+        campaign_span.record("devices", CAMPAIGN_SIZE);
+        campaign_span.record("seed", CAMPAIGN_SEED);
+        campaign_span.record("functional_yield", fractions[0]);
+        campaign_span.record("vt_sigma", vt_stats.1);
+    }
     let ion: Vec<f64> = population.on_currents();
     let ion_percentiles = [
         percentile(&ion, 5.0) * 1e6,

@@ -26,6 +26,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use carbon_trace::span;
+
 use crate::rng::Xoshiro256pp;
 
 /// Items per RNG stream in [`Executor::par_mc`]. Fixed (never derived
@@ -152,9 +154,23 @@ impl Executor {
         let n_chunks = n.div_ceil(chunk_size);
         let workers = self.threads.min(n_chunks);
         let inline = workers == 1 || IN_WORKER.with(Cell::get);
+        let mut run_span = span!("runtime.run_chunked");
+        if run_span.is_live() {
+            run_span.record("items", n);
+            run_span.record("chunk_size", chunk_size);
+            run_span.record("n_chunks", n_chunks);
+            run_span.record("workers", if inline { 1 } else { workers });
+            run_span.record("inline", inline);
+        }
         if inline {
             let mut out = Vec::with_capacity(n);
             for c in 0..n_chunks {
+                let mut chunk_span = span!("runtime.chunk");
+                if chunk_span.is_live() {
+                    chunk_span.record("chunk", c);
+                    chunk_span.record("items", (n - c * chunk_size).min(chunk_size));
+                    chunk_span.record("queue", n_chunks - c - 1);
+                }
                 work(c * chunk_size, c, &mut out);
             }
             return out;
@@ -170,6 +186,14 @@ impl Executor {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
+                        }
+                        let mut chunk_span = span!("runtime.chunk");
+                        if chunk_span.is_live() {
+                            chunk_span.record("chunk", c);
+                            chunk_span.record("items", (n - c * chunk_size).min(chunk_size));
+                            // Chunks still waiting in the queue when this
+                            // one was pulled — a live occupancy gauge.
+                            chunk_span.record("queue", n_chunks.saturating_sub(c + 1));
                         }
                         let mut local = Vec::with_capacity(chunk_size);
                         work(c * chunk_size, c, &mut local);
@@ -299,5 +323,63 @@ mod tests {
     fn executor_sizing() {
         assert_eq!(Executor::with_threads(0).threads(), 1);
         assert!(Executor::new().threads() >= 1);
+    }
+
+    #[test]
+    fn inline_execution_emits_chunk_spans_with_queue_occupancy() {
+        use carbon_trace::collect::Collector;
+        use carbon_trace::Value;
+
+        let collector = Collector::new();
+        let out = carbon_trace::with_subscriber(collector.clone(), || {
+            // threads = 1 runs inline, so every span lands on this
+            // thread's subscriber.
+            Executor::with_threads(1).par_mc(42, 2 * MC_CHUNK + 5, |_, rng| rng.next_f64())
+        });
+        assert_eq!(out.len(), 2 * MC_CHUNK + 5);
+
+        let runs = collector.spans("runtime.run_chunked");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(
+            collector.span_field("runtime.run_chunked", "n_chunks"),
+            vec![Value::U64(3)]
+        );
+        let chunks = collector.spans("runtime.chunk");
+        assert_eq!(chunks.len(), 3, "one span per chunk");
+        // Chunk spans nest under the run span.
+        let run_id = match &runs[0] {
+            carbon_trace::Event::Span { id, .. } => *id,
+            _ => unreachable!(),
+        };
+        for ev in &chunks {
+            if let carbon_trace::Event::Span { parent, .. } = ev {
+                assert_eq!(*parent, Some(run_id));
+            }
+        }
+        // Queue occupancy counts down as chunks drain: 2, 1, 0.
+        assert_eq!(
+            collector.span_field("runtime.chunk", "queue"),
+            vec![Value::U64(2), Value::U64(1), Value::U64(0)]
+        );
+        // The short tail chunk reports its true item count.
+        assert_eq!(
+            collector.span_field("runtime.chunk", "items"),
+            vec![
+                Value::U64(MC_CHUNK as u64),
+                Value::U64(MC_CHUNK as u64),
+                Value::U64(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        use carbon_trace::collect::Collector;
+
+        let plain = Executor::with_threads(1).par_mc(7, 3000, |_, rng| rng.next_f64());
+        let traced = carbon_trace::with_subscriber(Collector::new(), || {
+            Executor::with_threads(1).par_mc(7, 3000, |_, rng| rng.next_f64())
+        });
+        assert_eq!(plain, traced);
     }
 }

@@ -6,7 +6,8 @@ use crate::element::{diode_iv, diode_vcrit, pnjlim, ElementKind, FetCurve};
 use crate::error::SpiceError;
 use crate::linalg::{DenseMatrix, Stamp};
 use crate::netlist::{Circuit, NodeId};
-use crate::sparse::{SparseLu, SparseMatrix};
+use crate::sparse::{Refactor, SparseLu, SparseMatrix};
+use carbon_trace::{counter, instant, span};
 
 /// Unknown count below which the dense solver is used: at inverter-scale
 /// systems the dense factorization fits in cache and beats the sparse
@@ -411,6 +412,25 @@ pub(crate) fn newton_solve(
     debug_assert_eq!(x.len(), n_unknowns);
     let n_nodes = circuit.num_nodes();
 
+    // Per-solve telemetry: iteration count, convergence verdict, final
+    // residual (largest node-voltage update), and the replay-vs-full
+    // refactorization decisions taken on the sparse path. Inert — a
+    // thread-local flag check — unless a subscriber is installed.
+    let mut solve_span = span!("spice.newton_solve");
+    if solve_span.is_live() {
+        solve_span.record("n", n_unknowns);
+        solve_span.record(
+            "matrix",
+            match &ws.matrix {
+                MnaMatrix::Dense(_) => "dense",
+                MnaMatrix::Sparse { .. } => "sparse",
+            },
+        );
+        solve_span.record("transient", time.is_some());
+    }
+    let mut repivots = 0u64;
+    let mut last_dv = f64::NAN;
+
     // Seed the junction-limiting state from the incoming iterate so a
     // warm start passes through pnjlim untouched on its first iteration.
     for (jv, e) in ws.junction_v.iter_mut().zip(&circuit.elements) {
@@ -471,9 +491,21 @@ pub(crate) fn newton_solve(
                     a.add(i, i, gmin);
                 }
                 if lu.is_factored() {
-                    lu.refactor(a)?;
+                    match lu.refactor(a)? {
+                        Refactor::Replayed => counter!("spice.sparse.replay"),
+                        Refactor::Repivoted => {
+                            // The pivot-growth staleness check rejected
+                            // the cached pivot order — the event sweeps
+                            // and campaigns watch for fallback-rate
+                            // spikes.
+                            counter!("spice.sparse.repivot");
+                            instant!("spice.sparse.stale_pivot", "iter" = iter, "n" = n_unknowns);
+                            repivots += 1;
+                        }
+                    }
                 } else {
                     lu.factor(a)?;
+                    counter!("spice.sparse.factor");
                 }
                 x_new.copy_from_slice(z);
                 lu.solve(x_new);
@@ -485,6 +517,7 @@ pub(crate) fn newton_solve(
         for i in 0..n_nodes {
             dv_max = dv_max.max((x_new[i] - x[i]).abs());
         }
+        last_dv = dv_max;
         let mut converged = true;
         for i in 0..n_unknowns {
             let tol = if i < n_nodes {
@@ -499,6 +532,12 @@ pub(crate) fn newton_solve(
         }
         if converged {
             x.copy_from_slice(x_new);
+            if solve_span.is_live() {
+                solve_span.record("iters", iter + 1);
+                solve_span.record("converged", true);
+                solve_span.record("residual", dv_max);
+                solve_span.record("repivots", repivots);
+            }
             return Ok(iter + 1);
         }
         if dv_max > opts.vstep_limit {
@@ -519,6 +558,12 @@ pub(crate) fn newton_solve(
             x.copy_from_slice(x_new);
         }
     }
+    if solve_span.is_live() {
+        solve_span.record("iters", opts.max_iter);
+        solve_span.record("converged", false);
+        solve_span.record("residual", last_dv);
+        solve_span.record("repivots", repivots);
+    }
     Err(SpiceError::NonConvergence {
         analysis: if time.is_some() {
             "transient point"
@@ -526,7 +571,7 @@ pub(crate) fn newton_solve(
             "dc operating point"
         },
         iterations: opts.max_iter,
-        residual: f64::NAN,
+        residual: last_dv,
     })
 }
 

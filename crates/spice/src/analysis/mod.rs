@@ -31,6 +31,7 @@ use std::sync::Arc;
 use crate::element::ElementKind;
 use crate::error::SpiceError;
 use crate::netlist::Circuit;
+use carbon_trace::{counter, instant, span};
 
 pub(crate) use engine::{
     newton_solve, CapCompanion, IndCompanion, MnaWorkspace, NameTable, NewtonOptions, SolverCache,
@@ -271,6 +272,7 @@ impl Circuit {
             }
             Err(_) => spent += opts.max_iter,
         }
+        counter!("spice.op.gmin_step_fallback");
         // Strategy 2: gmin stepping from zero.
         let mut xg = vec![0.0; self.num_unknowns()];
         let mut ok = true;
@@ -294,6 +296,7 @@ impl Circuit {
             }
         }
         // Strategy 3: source stepping from zero.
+        counter!("spice.op.source_step_fallback");
         let mut xs = vec![0.0; self.num_unknowns()];
         for k in 1..=20 {
             let scale = k as f64 / 20.0;
@@ -302,12 +305,20 @@ impl Circuit {
                 Err(e) => {
                     return Err(match e {
                         SpiceError::SingularMatrix { .. } => e,
-                        _ => SpiceError::NonConvergence {
+                        // Keep the failed attempt's true iteration count
+                        // and last update so the caller's diagnostics
+                        // (ContinuationExhausted) stay meaningful.
+                        SpiceError::NonConvergence {
+                            iterations,
+                            residual,
+                            ..
+                        } => SpiceError::NonConvergence {
                             analysis: "dc operating point",
-                            iterations: opts.max_iter,
-                            residual: f64::NAN,
+                            iterations,
+                            residual,
                         },
-                    })
+                        other => other,
+                    });
                 }
             }
         }
@@ -331,8 +342,32 @@ impl Circuit {
         match self.op_from(x, ws) {
             Ok(iters) => Ok(iters),
             Err(e @ SpiceError::SingularMatrix { .. }) => Err(e),
-            Err(e) if depth == 0 => Err(e),
+            Err(e) if depth == 0 => {
+                // Continuation exhausted: surface the failing sweep
+                // value and the last Newton residual instead of the
+                // inner attempt's generic non-convergence report.
+                instant!("spice.continuation_exhausted", "v" = v_to);
+                Err(match e {
+                    SpiceError::NonConvergence {
+                        iterations,
+                        residual,
+                        ..
+                    } => SpiceError::ContinuationExhausted {
+                        sweep_value: v_to,
+                        iterations,
+                        residual,
+                    },
+                    other => other,
+                })
+            }
             Err(_) => {
+                counter!("spice.continuation_halvings");
+                instant!(
+                    "spice.continuation_halve",
+                    "v_from" = v_from,
+                    "v_to" = v_to,
+                    "depth" = depth,
+                );
                 let mid = 0.5 * (v_from + v_to);
                 let a = self.op_with_continuation(source, x, ws, v_from, mid, depth - 1)?;
                 let b = self.op_with_continuation(source, x, ws, mid, v_to, depth - 1)?;
@@ -377,6 +412,12 @@ impl Circuit {
         sweep_opts: SweepOptions,
     ) -> Result<SweepResult, SpiceError> {
         let grid = sweep_grid(from, to, step)?;
+        let mut sweep_span = span!("spice.dc_sweep");
+        if sweep_span.is_live() {
+            sweep_span.record("source", source);
+            sweep_span.record("points", grid.len());
+            sweep_span.record("warm_start", sweep_opts.warm_start);
+        }
         let mut work = self.clone();
         let mut ws = MnaWorkspace::for_circuit(&work);
         let mut points = Vec::with_capacity(grid.len());
@@ -404,6 +445,9 @@ impl Circuit {
             prev_v = Some(v);
             points.push(OpResult::new(ws.names.clone(), x.clone()));
             newton_iterations.push(iters);
+        }
+        if sweep_span.is_live() {
+            sweep_span.record("total_iters", newton_iterations.iter().sum::<usize>());
         }
         Ok(SweepResult {
             sweep: grid,
@@ -440,6 +484,13 @@ impl Circuit {
         let chunk = chunk.max(1);
         let n_chunks = grid.len().div_ceil(chunk);
         let sweep_opts = SweepOptions::default();
+        let mut sweep_span = span!("spice.dc_sweep_par");
+        if sweep_span.is_live() {
+            sweep_span.record("source", source);
+            sweep_span.record("points", grid.len());
+            sweep_span.record("chunk", chunk);
+            sweep_span.record("n_chunks", n_chunks);
+        }
 
         // Coarse serial pre-solve: solve the first point of every chunk,
         // warm-chaining from one chunk head to the next.
@@ -479,6 +530,11 @@ impl Circuit {
             carbon_runtime::executor::par_map(n_chunks, |c| -> ChunkResult {
                 let lo = c * chunk;
                 let hi = (lo + chunk).min(grid.len());
+                let mut chunk_span = span!("spice.sweep_chunk");
+                if chunk_span.is_live() {
+                    chunk_span.record("chunk", c);
+                    chunk_span.record("points", hi - lo);
+                }
                 let mut work = self.clone();
                 let mut ws = MnaWorkspace::for_circuit(&work);
                 let mut x = seeds[c].clone();
@@ -507,6 +563,9 @@ impl Circuit {
                     points.push(OpResult::new(ws.names.clone(), x.clone()));
                     iters.push(it);
                 }
+                if chunk_span.is_live() {
+                    chunk_span.record("iters", iters.iter().sum::<usize>());
+                }
                 Ok((points, iters))
             });
 
@@ -516,6 +575,9 @@ impl Circuit {
             let (p, it) = chunk_result?;
             points.extend(p);
             newton_iterations.extend(it);
+        }
+        if sweep_span.is_live() {
+            sweep_span.record("total_iters", newton_iterations.iter().sum::<usize>());
         }
         Ok(SweepResult {
             sweep: grid,

@@ -47,6 +47,19 @@ pub enum SpiceError {
         /// Largest solution update at abort, V.
         residual: f64,
     },
+    /// A DC sweep's step-halving continuation ran out of halvings
+    /// without converging — reported with the failing sweep value and
+    /// the last Newton residual so the offending bias region is
+    /// identifiable without re-running under a debugger.
+    ContinuationExhausted {
+        /// Source value (V or A) of the bias point that refused to
+        /// converge, after all step halvings.
+        sweep_value: f64,
+        /// Iterations performed in the last Newton attempt.
+        iterations: usize,
+        /// Largest node-voltage update when that attempt aborted, V.
+        residual: f64,
+    },
     /// A sweep or transient was asked for with a non-positive step, or
     /// bounds in the wrong order.
     InvalidSweep {
@@ -79,6 +92,16 @@ impl std::fmt::Display for SpiceError {
                 f,
                 "{analysis} failed to converge after {iterations} iterations (last update {residual:.3e} V)"
             ),
+            Self::ContinuationExhausted {
+                sweep_value,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "dc sweep failed to converge at sweep value {sweep_value:.6} (step-halving \
+                 continuation exhausted): last Newton attempt left residual {residual:.3e} V \
+                 after {iterations} iterations"
+            ),
             Self::InvalidSweep { reason } => write!(f, "invalid sweep: {reason}"),
         }
     }
@@ -109,6 +132,15 @@ mod tests {
         .to_string();
         assert!(singular.contains("row 3"), "{singular}");
         assert!(singular.contains("4.500e-16"), "{singular}");
+        let exhausted = SpiceError::ContinuationExhausted {
+            sweep_value: 0.8125,
+            iterations: 150,
+            residual: 4.2e-1,
+        }
+        .to_string();
+        assert!(exhausted.contains("0.8125"), "{exhausted}");
+        assert!(exhausted.contains("4.200e-1"), "{exhausted}");
+        assert!(exhausted.contains("150"), "{exhausted}");
     }
 
     #[test]

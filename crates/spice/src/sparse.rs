@@ -45,6 +45,18 @@ const SINGULAR_TOL: f64 = 1e-13;
 /// redone.
 const REFACTOR_PIVOT_RATIO: f64 = 1e-3;
 
+/// How [`SparseLu::refactor`] satisfied a request — the
+/// replay-vs-full-factorization decision, surfaced so callers can count
+/// staleness fallbacks in telemetry instead of guessing from timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refactor {
+    /// The cached L/U pattern and pivot order were numerically replayed.
+    Replayed,
+    /// The pivot-growth staleness check rejected the cached pivot order
+    /// and a full pivoting factorization was redone.
+    Repivoted,
+}
+
 /// A sparse square matrix in compressed-sparse-column (CSC) form with a
 /// **fixed** sparsity pattern and O(row degree) stamping.
 ///
@@ -546,16 +558,18 @@ impl SparseLu {
     /// Numeric refactorization on fresh values in `a`, reusing the L/U
     /// pattern and pivot sequence cached by the last
     /// [`factor`](Self::factor). Falls back to a full pivoting
-    /// factorization (transparently) when a cached pivot has decayed
-    /// relative to its column, so stability matches the full path.
+    /// factorization when a cached pivot has decayed relative to its
+    /// column, so stability matches the full path; the returned
+    /// [`Refactor`] says which of the two happened.
     ///
     /// # Errors
     ///
     /// Returns [`SpiceError::SingularMatrix`] as [`factor`](Self::factor)
     /// does.
-    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<(), SpiceError> {
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<Refactor, SpiceError> {
         if !self.factored {
-            return self.factor(a);
+            self.factor(a)?;
+            return Ok(Refactor::Repivoted);
         }
         assert_eq!(a.dim(), self.n, "matrix dimension changed");
         self.equilibrate(a)?;
@@ -566,9 +580,10 @@ impl SparseLu {
             // all-zero workspace — then redo a full pivoting
             // factorization, which also re-derives singularity reports.
             self.xw.fill(0.0);
-            return self.factor(a);
+            self.factor(a)?;
+            return Ok(Refactor::Repivoted);
         }
-        Ok(())
+        Ok(Refactor::Replayed)
     }
 
     /// Replays the cached numeric updates on `a`'s fresh values.
@@ -797,7 +812,7 @@ mod tests {
         lu.factor(&a).unwrap();
         for scale in [2.0, 0.5, 10.0] {
             fill(&mut a, scale);
-            lu.refactor(&a).unwrap();
+            assert_eq!(lu.refactor(&a).unwrap(), Refactor::Replayed);
             let mut x = vec![1.0, 2.0, 3.0];
             lu.solve(&mut x);
             let mut d = DenseMatrix::zeros(3);
@@ -834,7 +849,7 @@ mod tests {
         a.add(0, 1, 1.0);
         a.add(1, 0, 1.0);
         a.add(1, 1, 1e-9);
-        lu.refactor(&a).unwrap();
+        assert_eq!(lu.refactor(&a).unwrap(), Refactor::Repivoted);
         // x solves [1e-9 1; 1 1e-9]·x = [1; 2] → x ≈ [2, 1].
         let mut b = vec![1.0, 2.0];
         lu.solve(&mut b);

@@ -1,0 +1,186 @@
+//! End-to-end tests of the instrumentation layer: the trace must
+//! record what the solver actually did (staleness fallbacks, step
+//! halvings, iteration counts) without perturbing any result.
+
+use std::sync::Arc;
+
+use carbon_spice::{Circuit, FetCurve, SpiceError};
+use carbon_trace::collect::Collector;
+use carbon_trace::{Event, Value};
+
+/// The solver bench's nonlinear workload: `n` forward diode drops from
+/// a 5 V source. The diode conductances swing by many decades over the
+/// first Newton iterations, which drives the sparse LU's pivot-growth
+/// staleness check.
+fn diode_chain(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("v", "n0", "0", 5.0);
+    ckt.resistor("r", "n0", "d0", 1e3).expect("unique");
+    for i in 0..n {
+        ckt.diode(
+            &format!("d{i}"),
+            &format!("d{i}"),
+            &format!("d{}", i + 1),
+            1e-15,
+            1.0,
+        )
+        .expect("unique");
+    }
+    ckt.resistor("rt", &format!("d{n}"), "0", 10.0)
+        .expect("unique");
+    ckt
+}
+
+#[test]
+fn stale_pivot_fallback_happens_exactly_once_and_is_traced() {
+    let collector = Collector::new();
+    let traced = carbon_trace::with_subscriber(collector.clone(), || diode_chain(24).op())
+        .expect("chain solves");
+
+    // The cold solve starts from the flat initial guess, so the first
+    // factorization's pivot order goes stale exactly once as the diode
+    // conductances jump; every later iteration replays cleanly.
+    assert_eq!(collector.counter_total("spice.sparse.factor"), 1);
+    assert_eq!(
+        collector.counter_total("spice.sparse.repivot"),
+        1,
+        "staleness fallback must fire exactly once: {:?}",
+        collector.counter_totals()
+    );
+    assert!(collector.counter_total("spice.sparse.replay") >= 1);
+
+    // The fallback leaves a locatable instant event.
+    let stale: Vec<Event> = collector
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::Instant { .. }) && e.name() == "spice.sparse.stale_pivot")
+        .collect();
+    assert_eq!(stale.len(), 1);
+    if let Event::Instant { fields, .. } = &stale[0] {
+        assert!(fields.iter().any(|f| f.key == "iter"));
+        let n = fields
+            .iter()
+            .find(|f| f.key == "n")
+            .and_then(|f| f.value.as_u64())
+            .expect("stale_pivot records the system size");
+        assert!(n >= 25, "24-diode chain has at least 25 unknowns, got {n}");
+    }
+
+    // Observation must not participate: the traced solution is
+    // bit-identical to an untraced one.
+    let untraced = diode_chain(24).op().expect("chain solves");
+    for node in (0..=24).map(|i| format!("d{i}")) {
+        assert_eq!(
+            traced.voltage(&node).expect("node"),
+            untraced.voltage(&node).expect("node"),
+            "tracing changed the solution at {node}"
+        );
+    }
+}
+
+#[test]
+fn dc_sweep_spans_nest_newton_solves() {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "in", "0", 0.0);
+    ckt.resistor("r1", "in", "out", 1e3).expect("unique");
+    ckt.diode("d1", "out", "0", 1e-15, 1.0).expect("unique");
+
+    let collector = Collector::new();
+    carbon_trace::with_subscriber(collector.clone(), || {
+        ckt.dc_sweep("vin", 0.0, 1.0, 0.1).expect("sweeps")
+    });
+
+    let sweeps = collector.spans("spice.dc_sweep");
+    assert_eq!(sweeps.len(), 1);
+    assert_eq!(
+        collector.span_field("spice.dc_sweep", "points"),
+        vec![Value::U64(11)]
+    );
+    let total = match collector.span_field("spice.dc_sweep", "total_iters")[..] {
+        [Value::U64(t)] => t,
+        ref other => panic!("missing total_iters: {other:?}"),
+    };
+    assert!(total >= 11, "at least one Newton iteration per point");
+
+    // Every Newton solve ran inside the sweep span.
+    let sweep_id = match sweeps[0] {
+        Event::Span { id, .. } => id,
+        _ => unreachable!(),
+    };
+    let solves = collector.spans("spice.newton_solve");
+    assert!(!solves.is_empty());
+    for ev in &solves {
+        if let Event::Span { parent, .. } = ev {
+            assert_eq!(*parent, Some(sweep_id), "newton span escaped the sweep");
+        }
+    }
+}
+
+/// A deliberately broken device: the drain current steps discontinuously
+/// once the gate passes threshold, so Newton two-cycles between the
+/// on- and off-branches and no amount of step halving can converge the
+/// bias points beyond the step.
+struct SnapFet;
+
+impl FetCurve for SnapFet {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        if vgs >= 0.6 && vds >= 0.5 {
+            1.5e-3
+        } else {
+            0.0
+        }
+    }
+}
+
+#[test]
+fn continuation_exhaustion_reports_sweep_value_and_residual() {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vdd", "vdd", "0", 1.0);
+    ckt.voltage_source("vin", "g", "0", 0.0);
+    ckt.resistor("rl", "vdd", "d", 1e3).expect("unique");
+    ckt.fet("m1", "d", "g", "0", Arc::new(SnapFet))
+        .expect("fet");
+
+    let collector = Collector::new();
+    let err =
+        carbon_trace::with_subscriber(collector.clone(), || ckt.dc_sweep("vin", 0.0, 1.0, 0.25))
+            .expect_err("the snap device cannot converge past threshold");
+
+    match err {
+        SpiceError::ContinuationExhausted {
+            sweep_value,
+            iterations,
+            residual,
+        } => {
+            assert!(
+                (0.5..=0.75).contains(&sweep_value),
+                "failure must be localized past the 0.6 V threshold, got {sweep_value}"
+            );
+            assert!(iterations > 0);
+            assert!(
+                residual.is_finite() && residual > 0.0,
+                "residual must be the real last Newton update, got {residual}"
+            );
+            // The operator-facing message carries both diagnostics.
+            let msg = SpiceError::ContinuationExhausted {
+                sweep_value,
+                iterations,
+                residual,
+            }
+            .to_string();
+            assert!(msg.contains("sweep value"), "{msg}");
+            assert!(msg.contains("residual"), "{msg}");
+        }
+        other => panic!("expected ContinuationExhausted, got {other:?}"),
+    }
+
+    // The retry ladder is visible in the trace: halvings were burned
+    // before giving up, and the exhaustion itself is an instant event.
+    assert!(collector.counter_total("spice.continuation_halvings") >= 1);
+    let exhausted = collector
+        .events()
+        .iter()
+        .filter(|e| e.name() == "spice.continuation_exhausted")
+        .count();
+    assert_eq!(exhausted, 1);
+}
