@@ -45,6 +45,26 @@ for t in 1 2 4 8; do
     || { echo "trace summary missing newton spans (threads=$t)"; exit 1; }
 done
 
+# AC smoke: the parallel sparse AC sweep must be byte-identical to the
+# single-threaded run at every thread count, traced or not, and its
+# trace must aggregate through trace-summary like the DC spans do.
+run cargo clippy --offline -p carbon-spice --all-targets -- -D warnings
+run cargo clippy --offline -p carbon-bench --all-targets -- -D warnings
+run cargo clippy --offline -p carbon-runtime --all-targets -- -D warnings
+echo "==> AC smoke: ac_sweep_par byte-identity + trace-summary"
+CARBON_THREADS=1 "$bench_bin" ac > "$trace_dir/ac-untraced.txt"
+for t in 1 2 4 8; do
+  CARBON_THREADS=$t CARBON_TRACE="$trace_dir/ac-$t.jsonl" \
+    "$bench_bin" ac > "$trace_dir/ac-traced-$t.txt"
+  diff "$trace_dir/ac-untraced.txt" "$trace_dir/ac-traced-$t.txt" \
+    || { echo "ac report changed under CARBON_TRACE (threads=$t)"; exit 1; }
+  [[ -s "$trace_dir/ac-$t.jsonl" ]] \
+    || { echo "no AC trace written at threads=$t"; exit 1; }
+  "$bench_bin" trace-summary "$trace_dir/ac-$t.jsonl" > "$trace_dir/ac-summary-$t.jsonl"
+  grep -q '"id":"trace/spice.ac_sweep_par/dur_ns"' "$trace_dir/ac-summary-$t.jsonl" \
+    || { echo "trace summary missing ac_sweep_par span (threads=$t)"; exit 1; }
+done
+
 # Opt-in benchmark regression gate: measure the solver group for real
 # and diff it against the committed baseline, failing on >10 % median
 # regressions. Off by default — timings are only meaningful on a quiet

@@ -4,9 +4,9 @@
 
 use carbon_runtime::bench::{black_box, Harness};
 
-use carbon_bench::{diode_chain, resistor_ladder};
+use carbon_bench::{diode_chain, fet_cs_amp, log_freqs, rc_ladder, resistor_ladder};
 use carbon_spice::parser::parse_deck;
-use carbon_spice::{Circuit, Waveform};
+use carbon_spice::{AcMethod, Circuit, Waveform};
 
 fn main() {
     let mut h = Harness::group("solver");
@@ -69,6 +69,31 @@ fn main() {
         .collect();
     h.bench("ac_sweep_100pt", || {
         black_box(ckt.ac_sweep("vin", &freqs).expect("sweeps"));
+    });
+
+    // Sparse AC replay scaling: symbolic analysis once, jωC restamp +
+    // numeric replay per frequency point.
+    let ac_freqs = log_freqs(50, 1e3, 1e9);
+    for n in [32usize, 128] {
+        let ckt = rc_ladder(n);
+        h.bench(&format!("ac_ladder/{n}"), || {
+            black_box(ckt.ac_sweep("vin", &ac_freqs).expect("sweeps"));
+        });
+    }
+    // The dense-complex O(n³)-per-point path on the same 128-stage
+    // workload — the baseline the ≥3× sparse speedup is measured
+    // against.
+    let ckt = rc_ladder(128);
+    h.bench("ac_ladder_dense/128", || {
+        black_box(
+            ckt.ac_sweep_with("vin", &ac_freqs, AcMethod::Dense)
+                .expect("sweeps"),
+        );
+    });
+
+    let ckt = fet_cs_amp();
+    h.bench("ac_fet_cs_amp", || {
+        black_box(ckt.ac_sweep("vin", &ac_freqs).expect("sweeps"));
     });
 
     let deck = {

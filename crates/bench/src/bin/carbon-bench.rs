@@ -19,6 +19,10 @@
 //!
 //! `fig2` runs the Fig. 2 experiment and prints its report — a small,
 //! deterministic traced-run target for the CI trace smoke test.
+//!
+//! `ac` runs a parallel sparse AC sweep of the 64-stage RC ladder and
+//! prints every phasor at full precision — the deterministic target
+//! the CI AC smoke test diffs across thread counts.
 
 use std::process::ExitCode;
 
@@ -29,7 +33,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]\n       \
          carbon-bench trace-summary <trace.jsonl>\n       \
-         carbon-bench fig2"
+         carbon-bench fig2\n       \
+         carbon-bench ac"
     );
     ExitCode::from(2)
 }
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
         Some("compare") => run_compare(&args[1..]),
         Some("trace-summary") => run_trace_summary(&args[1..]),
         Some("fig2") => run_fig2(),
+        Some("ac") => run_ac(),
         _ => usage(),
     }
 }
@@ -78,6 +84,30 @@ fn run_fig2() -> ExitCode {
         }
         Err(e) => {
             eprintln!("carbon-bench: fig2: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_ac() -> ExitCode {
+    // A sparse-path system (66 unknowns) swept in parallel chunks of 8:
+    // the chunking is fixed, so this report is byte-identical at every
+    // CARBON_THREADS — which is exactly what ci.sh diffs.
+    let ckt = carbon_bench::rc_ladder(64);
+    let freqs = carbon_bench::log_freqs(40, 1e3, 1e9);
+    match ckt.ac_sweep_par("vin", &freqs, 8) {
+        Ok(ac) => {
+            for (f, sol) in freqs.iter().zip(ac.solutions()) {
+                print!("f={f:.17e}");
+                for z in sol {
+                    print!(" {:.17e}{:+.17e}j", z.re, z.im);
+                }
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("carbon-bench: ac: {e}");
             ExitCode::FAILURE
         }
     }

@@ -66,6 +66,68 @@ pub fn diode_chain(n: usize) -> Circuit {
     ckt
 }
 
+/// Builds an `n`-stage series-R / shunt-C ladder driven by an AC unit
+/// stimulus — the sparse AC replay workload (`n + 1` node unknowns
+/// plus the source branch, one capacitor per stage).
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn rc_ladder(n: usize) -> Circuit {
+    assert!(n > 0, "ladder needs at least one stage");
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "n0", "0", 0.0);
+    for i in 0..n {
+        ckt.resistor(
+            &format!("r{i}"),
+            &format!("n{i}"),
+            &format!("n{}", i + 1),
+            1e3,
+        )
+        .expect("unique names");
+        ckt.capacitor(&format!("c{i}"), &format!("n{}", i + 1), "0", 1e-12)
+            .expect("unique names");
+    }
+    ckt
+}
+
+/// A linear small-signal FET: `gm = 1 mS`, `gds = 10 µS` everywhere.
+#[derive(Debug)]
+struct LinearFet;
+
+impl carbon_spice::FetCurve for LinearFet {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        1e-3 * vgs + 1e-5 * vds
+    }
+}
+
+/// Builds a common-source FET amplifier with a capacitive load — the
+/// small-circuit AC workload (a handful of unknowns, dense solver
+/// path), whose corner the gm/gds linearization fixes analytically.
+pub fn fet_cs_amp() -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vdd", "vdd", "0", 1.0);
+    ckt.voltage_source("vin", "g", "0", 0.5);
+    ckt.resistor("rl", "vdd", "d", 1e5).expect("unique names");
+    ckt.capacitor("cl", "d", "0", 1e-13).expect("unique names");
+    ckt.fet("m1", "d", "g", "0", std::sync::Arc::new(LinearFet))
+        .expect("unique names");
+    ckt
+}
+
+/// `n` log-spaced frequencies over `lo..=hi` — the grid every AC
+/// bench and smoke target sweeps.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn log_freqs(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n >= 2, "a log grid needs at least two points");
+    (0..n)
+        .map(|k| lo * (hi / lo).powf(k as f64 / (n - 1) as f64))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +150,38 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn ladder_rejects_zero() {
         let _ = resistor_ladder(0);
+    }
+
+    #[test]
+    fn rc_ladder_sweeps_and_rolls_off() {
+        let ckt = rc_ladder(20);
+        let freqs = log_freqs(10, 1e3, 1e9);
+        let ac = ckt.ac_sweep("vin", &freqs).expect("sweeps");
+        let mag = ac.magnitude("n20").expect("node");
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband gain 1");
+        assert!(*mag.last().expect("points") < 1e-3, "stopband rolls off");
+    }
+
+    #[test]
+    fn fet_cs_amp_has_midband_gain_and_corner() {
+        let ckt = fet_cs_amp();
+        let freqs = log_freqs(40, 1e3, 1e9);
+        let ac = ckt.ac_sweep("vin", &freqs).expect("sweeps");
+        let mag = ac.magnitude("d").expect("node");
+        // |Av| = gm·(R_L ∥ 1/gds) = 1e-3·(1e5 ∥ 1e5) = 50 at low f.
+        assert!((mag[0] - 50.0).abs() < 1.0, "midband |Av| = {}", mag[0]);
+        assert!(
+            ac.corner_frequency("d").expect("node").is_some(),
+            "load cap must roll the gain off inside the grid"
+        );
+    }
+
+    #[test]
+    fn log_freqs_hits_both_endpoints() {
+        let f = log_freqs(5, 1e3, 1e7);
+        assert!((f[0] - 1e3).abs() < 1e-9);
+        assert!((f[4] - 1e7).abs() / 1e7 < 1e-12);
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

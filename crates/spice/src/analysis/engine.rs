@@ -79,27 +79,39 @@ enum MnaMatrix {
     Sparse { a: SparseMatrix, lu: Box<SparseLu> },
 }
 
-/// Interior-mutable, per-[`Circuit`] cache of the solver workspace, so
-/// repeated `op()`/`transient()` calls on one circuit pay the sparse
-/// symbolic analysis (pattern + ordering + first-factor fill discovery)
-/// once instead of per call. The netlist builder invalidates it on any
-/// topology change (new node, new element); value-only edits such as
-/// [`Circuit::set_source_value`] keep it valid.
-pub(crate) struct SolverCache(Mutex<Option<MnaWorkspace>>);
+/// The per-topology workspaces an analysis can cache on a circuit:
+/// the DC/transient Newton workspace and the sparse AC sweep
+/// workspace. Both hang off the circuit's one [`SolverCache`] lock
+/// and are dropped together on topology changes.
+#[derive(Default)]
+pub(crate) struct Workspaces {
+    /// Newton MNA state for `op()`/`transient()`.
+    pub dc: Option<MnaWorkspace>,
+    /// Complex pattern + LU for `ac_sweep()`.
+    pub ac: Option<super::ac::AcWorkspace>,
+}
+
+/// Interior-mutable, per-[`Circuit`] cache of the solver workspaces, so
+/// repeated `op()`/`transient()`/`ac_sweep()` calls on one circuit pay
+/// the sparse symbolic analysis (pattern + ordering + first-factor fill
+/// discovery) once instead of per call. The netlist builder invalidates
+/// it on any topology change (new node, new element); value-only edits
+/// such as [`Circuit::set_source_value`] keep it valid.
+pub(crate) struct SolverCache(Mutex<Workspaces>);
 
 impl SolverCache {
     /// Empties the cache — called by the builder on topology changes.
     pub fn invalidate(&mut self) {
-        *self.0.get_mut().unwrap_or_else(PoisonError::into_inner) = None;
+        *self.0.get_mut().unwrap_or_else(PoisonError::into_inner) = Workspaces::default();
     }
 
     /// Locks the cache for an analysis. A poisoned lock (a stamp panic
     /// in another thread) is recovered by discarding the possibly
-    /// half-updated workspace.
-    pub fn lock(&self) -> MutexGuard<'_, Option<MnaWorkspace>> {
+    /// half-updated workspaces.
+    pub fn lock(&self) -> MutexGuard<'_, Workspaces> {
         self.0.lock().unwrap_or_else(|poison| {
             let mut guard = poison.into_inner();
-            *guard = None;
+            *guard = Workspaces::default();
             guard
         })
     }
@@ -107,7 +119,7 @@ impl SolverCache {
 
 impl Default for SolverCache {
     fn default() -> Self {
-        Self(Mutex::new(None))
+        Self(Mutex::new(Workspaces::default()))
     }
 }
 
@@ -162,7 +174,12 @@ impl MnaWorkspace {
 /// Every `(row, col)` position the circuit's elements can ever stamp,
 /// across DC *and* transient (companion) forms, plus the gmin node
 /// diagonals — the fixed sparsity pattern of the MNA system.
-fn collect_pattern(circuit: &Circuit) -> Vec<(usize, usize)> {
+///
+/// The AC system `G + jωC` stamps the same positions (capacitor
+/// susceptances land on the capacitor-conductance pattern, inductor
+/// reactances on the branch diagonal the companions use), so the AC
+/// workspace reuses this pattern verbatim.
+pub(crate) fn collect_pattern(circuit: &Circuit) -> Vec<(usize, usize)> {
     let n_nodes = circuit.num_nodes();
     let mut pat: Vec<(usize, usize)> = Vec::new();
     // gmin anchors every node diagonal.

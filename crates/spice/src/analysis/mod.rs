@@ -248,7 +248,9 @@ impl Circuit {
         // second op() pays no symbolic analysis and refactors against
         // the already-discovered fill pattern.
         let mut cache = self.solver_cache.lock();
-        let ws = cache.get_or_insert_with(|| MnaWorkspace::for_circuit(self));
+        let ws = cache
+            .dc
+            .get_or_insert_with(|| MnaWorkspace::for_circuit(self));
         self.op_from(&mut x, ws)?;
         Ok(OpResult::new(ws.names.clone(), x))
     }
@@ -610,7 +612,9 @@ impl Circuit {
         }
         let opts = NewtonOptions::default();
         let mut cache = self.solver_cache.lock();
-        let ws = cache.get_or_insert_with(|| MnaWorkspace::for_circuit(self));
+        let ws = cache
+            .dc
+            .get_or_insert_with(|| MnaWorkspace::for_circuit(self));
         // DC initial condition with sources evaluated at t = 0.
         let mut x = vec![0.0; self.num_unknowns()];
         newton_solve(self, ws, &mut x, Some(0.0), None, 1.0, opts.gmin, &opts).or_else(|_| {

@@ -53,8 +53,26 @@ impl Complex {
 
     /// Cheap magnitude proxy `|re| + |im|` used for pivoting.
     #[inline]
-    fn norm1(self) -> f64 {
+    pub(crate) fn norm1(self) -> f64 {
         self.re.abs() + self.im.abs()
+    }
+}
+
+/// [`Scalar`](crate::sparse::Scalar) instance so the sparse
+/// Gilbert–Peierls solver works over complex MNA systems. Pivot
+/// magnitudes use the same `norm1` proxy as the dense complex
+/// elimination, keeping the two paths' pivot choices comparable.
+impl crate::sparse::Scalar for Complex {
+    const ZERO: Self = Complex::ZERO;
+
+    #[inline]
+    fn mag(self) -> f64 {
+        self.norm1()
+    }
+
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
     }
 }
 

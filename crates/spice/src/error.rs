@@ -27,6 +27,15 @@ pub enum SpiceError {
         /// The unknown source name.
         name: String,
     },
+    /// The requested AC stimulus does not name an independent source —
+    /// reported with the valid choices so a typo is a one-glance fix.
+    UnknownAcSource {
+        /// The requested stimulus name.
+        name: String,
+        /// Names of the circuit's independent voltage/current sources,
+        /// in netlist order — the valid stimulus choices.
+        available: Vec<String>,
+    },
     /// The MNA matrix is singular: the circuit is under-constrained
     /// (floating node, voltage-source loop, ...).
     SingularMatrix {
@@ -79,6 +88,20 @@ impl std::fmt::Display for SpiceError {
             }
             Self::UnknownNode { name } => write!(f, "unknown node '{name}'"),
             Self::UnknownSource { name } => write!(f, "unknown source '{name}'"),
+            Self::UnknownAcSource { name, available } => {
+                if available.is_empty() {
+                    write!(
+                        f,
+                        "unknown AC stimulus '{name}': the circuit has no independent sources"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown AC stimulus '{name}': available AC sources are {}",
+                        available.join(", ")
+                    )
+                }
+            }
             Self::SingularMatrix { row, pivot } => write!(
                 f,
                 "singular MNA matrix at row {row}: equilibrated pivot |{pivot:.3e}| below \

@@ -53,7 +53,7 @@ pub mod runner;
 pub mod sparse;
 pub mod waveform;
 
-pub use analysis::ac::AcResult;
+pub use analysis::ac::{AcMethod, AcResult};
 pub use analysis::{OpResult, SweepOptions, SweepResult, TranResult};
 pub use complex::Complex;
 pub use element::FetCurve;

@@ -3,6 +3,14 @@
 //! left-looking (Gilbert–Peierls) LU factorization with partial
 //! pivoting plus a pivot-reusing numeric *refactorization*.
 //!
+//! The factorization is generic over the [`Scalar`] of the system:
+//! `f64` for the DC/transient Newton path and
+//! [`Complex`](crate::complex::Complex) for the AC system
+//! `(G + jωC)·x = b`, so one Gilbert–Peierls implementation serves
+//! both. Pivot selection, singularity tests and the pivot-growth
+//! staleness check all run on a cheap real magnitude proxy
+//! ([`Scalar::mag`]: `|x|` for reals, `|re| + |im|` for phasors).
+//!
 //! Circuit matrices from ladder and inverter netlists are inherently
 //! sparse and near-banded (a node couples only to its few neighbours),
 //! so the dense O(n³) LU in [`linalg`](crate::linalg) is pure wasted
@@ -32,6 +40,57 @@
 use crate::error::SpiceError;
 use crate::linalg::Stamp;
 
+/// The scalar field a sparse system is solved over.
+///
+/// Implemented for `f64` (the DC/transient Newton path) and for
+/// [`Complex`](crate::complex::Complex) (the AC system `G + jωC`). The
+/// trait deliberately exposes only what Gilbert–Peierls needs: ring
+/// arithmetic, a **real** magnitude proxy for pivot decisions, and
+/// multiplication by a real equilibration scale.
+pub trait Scalar:
+    Copy
+    + PartialEq
+    + Default
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+
+    /// Cheap magnitude proxy used for pivot selection, the singularity
+    /// tolerance, and the refactorization growth check: `|x|` for
+    /// reals, the 1-norm `|re| + |im|` for complex values (within √2 of
+    /// the modulus, and free of the `hypot` cost in the pivot loop).
+    fn mag(self) -> f64;
+
+    /// Multiplies by a real factor — row equilibration.
+    #[must_use]
+    fn scale(self, s: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+
+    #[inline]
+    fn mag(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+}
+
 /// Sentinel for "row not yet chosen as a pivot".
 const EMPTY: u32 = u32::MAX;
 
@@ -58,28 +117,30 @@ pub enum Refactor {
 }
 
 /// A sparse square matrix in compressed-sparse-column (CSC) form with a
-/// **fixed** sparsity pattern and O(row degree) stamping.
+/// **fixed** sparsity pattern and O(row degree) stamping, generic over
+/// the stored [`Scalar`] (defaults to `f64`; the AC path instantiates
+/// it at [`Complex`](crate::complex::Complex)).
 ///
 /// The pattern is declared up front from the set of `(row, col)`
 /// positions a circuit can ever stamp; [`add`](Self::add) then
 /// accumulates into pre-resolved slots, and [`clear`](Self::clear)
 /// zeroes values while keeping the pattern and all allocations.
 #[derive(Debug, Clone)]
-pub struct SparseMatrix {
+pub struct SparseMatrix<T: Scalar = f64> {
     n: usize,
     /// CSC column pointers, `n + 1` entries.
     col_ptr: Vec<usize>,
     /// CSC row indices, one per stored entry, sorted within a column.
     row_ind: Vec<u32>,
     /// Stored values, parallel to `row_ind`.
-    values: Vec<f64>,
+    values: Vec<T>,
     /// Per-row `(col, value slot)` pairs, sorted by column: resolves a
     /// stamp at `(r, c)` with a short linear scan (MNA rows hold only a
     /// handful of entries).
     row_slots: Vec<Vec<(u32, u32)>>,
 }
 
-impl SparseMatrix {
+impl<T: Scalar> SparseMatrix<T> {
     /// Builds an `n × n` matrix whose pattern is the set of `entries`
     /// (duplicates welcome — they collapse to one slot).
     ///
@@ -112,7 +173,7 @@ impl SparseMatrix {
             n,
             col_ptr,
             row_ind,
-            values: vec![0.0; nnz],
+            values: vec![T::ZERO; nnz],
             row_slots,
         }
     }
@@ -131,7 +192,7 @@ impl SparseMatrix {
 
     /// Resets all values to zero, keeping the pattern.
     pub fn clear(&mut self) {
-        self.values.fill(0.0);
+        self.values.fill(T::ZERO);
     }
 
     /// Adds `value` at `(row, col)` — the MNA stamp operation.
@@ -140,7 +201,7 @@ impl SparseMatrix {
     ///
     /// Panics if `(row, col)` is not part of the declared pattern.
     #[inline]
-    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+    pub fn add(&mut self, row: usize, col: usize, value: T) {
         let c = col as u32;
         for &(sc, slot) in &self.row_slots[row] {
             if sc == c {
@@ -151,19 +212,44 @@ impl SparseMatrix {
         panic!("stamp at ({row}, {col}) outside the declared sparsity pattern");
     }
 
+    /// The stored values in pattern (CSC slot) order — pairs with
+    /// [`set_values`](Self::set_values) so a caller can snapshot the
+    /// frequency-independent part of a stamp and restore it per sweep
+    /// point instead of restamping every element.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Overwrites the stored values (pattern order), keeping the
+    /// pattern — the restore half of [`values`](Self::values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` does not have exactly [`nnz`](Self::nnz)
+    /// entries.
+    pub fn set_values(&mut self, vals: &[T]) {
+        assert_eq!(
+            vals.len(),
+            self.values.len(),
+            "value snapshot length must equal nnz"
+        );
+        self.values.copy_from_slice(vals);
+    }
+
     /// Column `j` as parallel `(rows, values)` slices.
     #[inline]
-    fn col(&self, j: usize) -> (&[u32], &[f64]) {
+    fn col(&self, j: usize) -> (&[u32], &[T]) {
         let span = self.col_ptr[j]..self.col_ptr[j + 1];
         (&self.row_ind[span.clone()], &self.values[span])
     }
 
-    /// Per-row maximum absolute value (for equilibration); rows with no
+    /// Per-row maximum magnitude (for equilibration); rows with no
     /// entries report 0.0.
     fn row_max_abs(&self, out: &mut [f64]) {
         out.fill(0.0);
         for (slot, &r) in self.row_ind.iter().enumerate() {
-            let v = self.values[slot].abs();
+            let v = self.values[slot].mag();
             if v > out[r as usize] {
                 out[r as usize] = v;
             }
@@ -171,7 +257,7 @@ impl SparseMatrix {
     }
 }
 
-impl Stamp for SparseMatrix {
+impl Stamp for SparseMatrix<f64> {
     #[inline]
     fn add(&mut self, row: usize, col: usize, value: f64) {
         SparseMatrix::add(self, row, col, value);
@@ -296,7 +382,7 @@ fn min_degree_order(n: usize, entries: &[(usize, usize)]) -> Vec<u32> {
 /// sequence, and [`refactor`](Self::refactor) replays the numeric work
 /// on fresh values.
 #[derive(Debug, Clone)]
-pub struct SparseLu {
+pub struct SparseLu<T: Scalar = f64> {
     n: usize,
     /// Fill-reducing column elimination order: step `k` eliminates
     /// original column `q[k]`.
@@ -305,13 +391,13 @@ pub struct SparseLu {
     // indices are *original* rows, sorted ascending.
     lp: Vec<usize>,
     li: Vec<u32>,
-    lx: Vec<f64>,
+    lx: Vec<T>,
     // U in CSC over elimination steps, diagonal stored separately, row
     // indices are *pivot-order* indices, sorted ascending.
     up: Vec<usize>,
     ui: Vec<u32>,
-    ux: Vec<f64>,
-    udiag: Vec<f64>,
+    ux: Vec<T>,
+    udiag: Vec<T>,
     /// Original row → pivot order.
     pinv: Vec<u32>,
     /// Pivot order → original row.
@@ -321,20 +407,20 @@ pub struct SparseLu {
     /// Whether `factor` has populated the L/U pattern.
     factored: bool,
     // Workspaces (kept across calls to avoid reallocation).
-    xw: Vec<f64>,
+    xw: Vec<T>,
     visited: Vec<bool>,
     topo: Vec<u32>,
     dfs_stack: Vec<(u32, usize)>,
-    ucol_scratch: Vec<(u32, f64)>,
-    lcol_scratch: Vec<(u32, f64)>,
-    y_scratch: Vec<f64>,
+    ucol_scratch: Vec<(u32, T)>,
+    lcol_scratch: Vec<(u32, T)>,
+    y_scratch: Vec<T>,
 }
 
-impl SparseLu {
+impl<T: Scalar> SparseLu<T> {
     /// Prepares a solver for `a`'s pattern: computes the fill-reducing
     /// column ordering (the symbolic step shared by every subsequent
     /// factorization) and sizes the workspaces.
-    pub fn new(a: &SparseMatrix) -> Self {
+    pub fn new(a: &SparseMatrix<T>) -> Self {
         let n = a.dim();
         let mut entries = Vec::with_capacity(a.nnz());
         for j in 0..n {
@@ -353,18 +439,18 @@ impl SparseLu {
             up: Vec::new(),
             ui: Vec::new(),
             ux: Vec::new(),
-            udiag: vec![0.0; n],
+            udiag: vec![T::ZERO; n],
             pinv: vec![EMPTY; n],
             prow: vec![EMPTY; n],
             rs: vec![1.0; n],
             factored: false,
-            xw: vec![0.0; n],
+            xw: vec![T::ZERO; n],
             visited: vec![false; n],
             topo: Vec::with_capacity(n),
             dfs_stack: Vec::with_capacity(n),
             ucol_scratch: Vec::new(),
             lcol_scratch: Vec::new(),
-            y_scratch: vec![0.0; n],
+            y_scratch: vec![T::ZERO; n],
         }
     }
 
@@ -375,7 +461,7 @@ impl SparseLu {
     }
 
     /// Recomputes the row-equilibration scales from `a`.
-    fn equilibrate(&mut self, a: &SparseMatrix) -> Result<(), SpiceError> {
+    fn equilibrate(&mut self, a: &SparseMatrix<T>) -> Result<(), SpiceError> {
         a.row_max_abs(&mut self.rs);
         for (r, s) in self.rs.iter_mut().enumerate() {
             if *s == 0.0 {
@@ -399,12 +485,13 @@ impl SparseLu {
     ///
     /// Panics if `a`'s dimension differs from the one this solver was
     /// built for.
-    pub fn factor(&mut self, a: &SparseMatrix) -> Result<(), SpiceError> {
+    pub fn factor(&mut self, a: &SparseMatrix<T>) -> Result<(), SpiceError> {
         assert_eq!(a.dim(), self.n, "matrix dimension changed");
-        debug_assert!(
-            self.xw.iter().all(|&v| v == 0.0),
-            "factor requires a zeroed scatter workspace"
-        );
+        // The scatter workspace must be all-zero; an earlier replay (or
+        // aborted factorization) may have left column values behind, so
+        // re-zero it wholesale — O(n), invisible next to the numeric
+        // work.
+        self.xw.fill(T::ZERO);
         let n = self.n;
         self.equilibrate(a)?;
         self.factored = false;
@@ -427,7 +514,7 @@ impl SparseLu {
             // Numeric: x = L \ (Dr · A(:, j)) on the reach set.
             let (arows, avals) = a.col(j);
             for (&r, &v) in arows.iter().zip(avals) {
-                self.xw[r as usize] = v * self.rs[r as usize];
+                self.xw[r as usize] = v.scale(self.rs[r as usize]);
             }
             for t in (0..self.topo.len()).rev() {
                 let i = self.topo[t] as usize;
@@ -436,7 +523,7 @@ impl SparseLu {
                     continue;
                 }
                 let xi = self.xw[i];
-                if xi != 0.0 {
+                if xi != T::ZERO {
                     let span = self.lp[pk as usize]..self.lp[pk as usize + 1];
                     for s in span {
                         self.xw[self.li[s] as usize] -= self.lx[s] * xi;
@@ -450,7 +537,7 @@ impl SparseLu {
             for &i in &self.topo {
                 let i = i as usize;
                 if self.pinv[i] == EMPTY {
-                    let v = self.xw[i].abs();
+                    let v = self.xw[i].mag();
                     if v > pivot_val || (v == pivot_val && (i as u32) < pivot_row) {
                         pivot_val = v;
                         pivot_row = i as u32;
@@ -511,7 +598,7 @@ impl SparseLu {
     fn cleanup_column(&mut self) {
         for t in 0..self.topo.len() {
             let i = self.topo[t] as usize;
-            self.xw[i] = 0.0;
+            self.xw[i] = T::ZERO;
             self.visited[i] = false;
         }
         self.topo.clear();
@@ -520,7 +607,7 @@ impl SparseLu {
     /// Depth-first search from the rows of `A(:, j)` through factored L
     /// columns; leaves `self.topo` holding the reach in reverse
     /// topological order (process back-to-front).
-    fn reach(&mut self, a: &SparseMatrix, j: usize) {
+    fn reach(&mut self, a: &SparseMatrix<T>, j: usize) {
         let (arows, _) = a.col(j);
         for &r in arows {
             if self.visited[r as usize] {
@@ -566,7 +653,7 @@ impl SparseLu {
     ///
     /// Returns [`SpiceError::SingularMatrix`] as [`factor`](Self::factor)
     /// does.
-    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<Refactor, SpiceError> {
+    pub fn refactor(&mut self, a: &SparseMatrix<T>) -> Result<Refactor, SpiceError> {
         if !self.factored {
             self.factor(a)?;
             return Ok(Refactor::Repivoted);
@@ -574,12 +661,10 @@ impl SparseLu {
         assert_eq!(a.dim(), self.n, "matrix dimension changed");
         self.equilibrate(a)?;
         if self.replay(a) {
-            // A cached pivot went stale (or collapsed outright): zero
-            // the scatter workspace wholesale — the aborted replay left
-            // its column values behind and `factor` relies on an
-            // all-zero workspace — then redo a full pivoting
-            // factorization, which also re-derives singularity reports.
-            self.xw.fill(0.0);
+            // A cached pivot went stale (or collapsed outright): redo a
+            // full pivoting factorization, which re-zeroes the scatter
+            // workspace the aborted replay dirtied and re-derives
+            // singularity reports.
             self.factor(a)?;
             return Ok(Refactor::Repivoted);
         }
@@ -589,7 +674,7 @@ impl SparseLu {
     /// Replays the cached numeric updates on `a`'s fresh values.
     /// Returns `true` when a cached pivot fails the growth (or
     /// singularity) check, i.e. a full re-pivoting pass is needed.
-    fn replay(&mut self, a: &SparseMatrix) -> bool {
+    fn replay(&mut self, a: &SparseMatrix<T>) -> bool {
         let n = self.n;
         let SparseLu {
             q,
@@ -611,15 +696,15 @@ impl SparseLu {
             let lspan = lp[k]..lp[k + 1];
             let uspan = up[k]..up[k + 1];
             for &i in &li[lspan.clone()] {
-                xw[i as usize] = 0.0;
+                xw[i as usize] = T::ZERO;
             }
             for &t in &ui[uspan.clone()] {
-                xw[prow[t as usize] as usize] = 0.0;
+                xw[prow[t as usize] as usize] = T::ZERO;
             }
-            xw[prow[k] as usize] = 0.0;
+            xw[prow[k] as usize] = T::ZERO;
             let (arows, avals) = a.col(j);
             for (&r, &v) in arows.iter().zip(avals) {
-                xw[r as usize] = v * rs[r as usize];
+                xw[r as usize] = v.scale(rs[r as usize]);
             }
             // Apply earlier columns in ascending pivot order (a valid
             // elimination order because U is upper triangular in pivot
@@ -628,7 +713,7 @@ impl SparseLu {
                 let t = t as usize;
                 let xi = xw[prow[t] as usize];
                 *u_val = xi;
-                if xi != 0.0 {
+                if xi != T::ZERO {
                     let span = lp[t]..lp[t + 1];
                     for (&i, &l) in li[span.clone()].iter().zip(&lx[span]) {
                         xw[i as usize] -= l * xi;
@@ -638,11 +723,11 @@ impl SparseLu {
             let piv = xw[prow[k] as usize];
             // Pivot-growth check against the best alternative in this
             // column; stale pivots trigger a full re-pivot.
-            let mut col_max = piv.abs();
+            let mut col_max = piv.mag();
             for &i in &li[lspan.clone()] {
-                col_max = col_max.max(xw[i as usize].abs());
+                col_max = col_max.max(xw[i as usize].mag());
             }
-            if piv.abs() < SINGULAR_TOL || piv.abs() < REFACTOR_PIVOT_RATIO * col_max {
+            if piv.mag() < SINGULAR_TOL || piv.mag() < REFACTOR_PIVOT_RATIO * col_max {
                 return true;
             }
             udiag[k] = piv;
@@ -660,7 +745,7 @@ impl SparseLu {
     ///
     /// Panics if no factorization is available or `b` has the wrong
     /// length.
-    pub fn solve(&mut self, b: &mut [f64]) {
+    pub fn solve(&mut self, b: &mut [T]) {
         assert!(self.factored, "solve called before factor");
         assert_eq!(b.len(), self.n, "rhs length must equal matrix dimension");
         let n = self.n;
@@ -668,13 +753,13 @@ impl SparseLu {
         let mut y = std::mem::take(&mut self.y_scratch);
         for (yk, &pr) in y.iter_mut().zip(self.prow.iter()).take(n) {
             let r = pr as usize;
-            *yk = b[r] * self.rs[r];
+            *yk = b[r].scale(self.rs[r]);
         }
         // Forward: L is unit lower triangular in pivot order; column k
         // only touches rows pivoted later.
         for k in 0..n {
             let yk = y[k];
-            if yk != 0.0 {
+            if yk != T::ZERO {
                 let span = self.lp[k]..self.lp[k + 1];
                 for (&i, &l) in self.li[span.clone()].iter().zip(&self.lx[span]) {
                     y[self.pinv[i as usize] as usize] -= l * yk;
@@ -685,7 +770,7 @@ impl SparseLu {
         for k in (0..n).rev() {
             let zk = y[k] / self.udiag[k];
             y[k] = zk;
-            if zk != 0.0 {
+            if zk != T::ZERO {
                 let span = self.up[k]..self.up[k + 1];
                 for (&i, &u) in self.ui[span.clone()].iter().zip(&self.ux[span]) {
                     y[i as usize] -= u * zk;

@@ -1,0 +1,128 @@
+//! End-to-end tests of the sparse AC fast path: thread-count
+//! determinism of `ac_sweep_par`, chunk-schedule equivalence with the
+//! serial sweep, and dense/sparse agreement on real circuit shapes.
+
+use carbon_runtime::executor::Executor;
+use carbon_spice::{AcMethod, Circuit};
+
+/// Series-R / shunt-C ladder with `n` stages: n + 1 node unknowns plus
+/// the source branch, so anything from n = 16 up runs the sparse path.
+fn rc_ladder(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "n0", "0", 0.0);
+    for k in 0..n {
+        ckt.resistor(
+            &format!("r{k}"),
+            &format!("n{k}"),
+            &format!("n{}", k + 1),
+            1e3,
+        )
+        .expect("unique");
+        ckt.capacitor(&format!("c{k}"), &format!("n{}", k + 1), "0", 1e-12)
+            .expect("unique");
+    }
+    ckt
+}
+
+/// `n` log-spaced frequencies over `lo..hi`.
+fn log_freqs(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n)
+        .map(|k| lo * (hi / lo).powf(k as f64 / (n - 1) as f64))
+        .collect()
+}
+
+#[test]
+fn ac_sweep_par_is_byte_identical_at_every_thread_count() {
+    let ckt = rc_ladder(32);
+    let freqs = log_freqs(40, 1e3, 1e9);
+    let reference = ckt
+        .ac_sweep_par_on(&Executor::with_threads(1), "vin", &freqs, 8)
+        .expect("sweeps");
+    for threads in [2, 4, 8] {
+        let out = ckt
+            .ac_sweep_par_on(&Executor::with_threads(threads), "vin", &freqs, 8)
+            .expect("sweeps");
+        assert_eq!(
+            out.solutions(),
+            reference.solutions(),
+            "divergence at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn ac_sweep_par_single_chunk_matches_serial_sweep_bitwise() {
+    // One chunk runs the exact serial schedule — factor at the head
+    // frequency, replay the rest — so the parallel sweep must
+    // reproduce the serial one bit for bit, workers or not.
+    let ckt = rc_ladder(24);
+    let freqs = log_freqs(25, 1e4, 1e8);
+    let serial = ckt.ac_sweep("vin", &freqs).expect("sweeps");
+    let par = ckt
+        .ac_sweep_par_on(&Executor::with_threads(4), "vin", &freqs, freqs.len())
+        .expect("sweeps");
+    assert_eq!(par.solutions(), serial.solutions());
+}
+
+#[test]
+fn ac_sweep_par_dense_circuit_matches_serial() {
+    // Below the sparse threshold the parallel sweep runs the dense
+    // per-point solver; points are fully independent, so any chunking
+    // matches the serial sweep exactly.
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "in", "0", 0.0);
+    ckt.resistor("r", "in", "out", 1e3).expect("unique");
+    ckt.capacitor("c", "out", "0", 1e-9).expect("unique");
+    let freqs = log_freqs(17, 1e3, 1e8);
+    let serial = ckt.ac_sweep("vin", &freqs).expect("sweeps");
+    for chunk in [1, 3, 100] {
+        let par = ckt
+            .ac_sweep_par_on(&Executor::with_threads(4), "vin", &freqs, chunk)
+            .expect("sweeps");
+        assert_eq!(par.solutions(), serial.solutions(), "chunk = {chunk}");
+    }
+}
+
+#[test]
+fn sparse_and_dense_agree_on_rlc_ladder_with_fets() {
+    // A ladder with inductor branches and a FET load: every dynamic
+    // stamp kind (jωC node pattern, −jωL branch diagonal) plus
+    // op-point linearized conductances in one circuit.
+    #[derive(Debug)]
+    struct LinearFet;
+    impl carbon_spice::FetCurve for LinearFet {
+        fn ids(&self, vgs: f64, vds: f64) -> f64 {
+            1e-3 * vgs + 1e-5 * vds
+        }
+    }
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "n0", "0", 0.5);
+    for k in 0..10 {
+        ckt.resistor(
+            &format!("r{k}"),
+            &format!("n{k}"),
+            &format!("n{}", k + 1),
+            100.0,
+        )
+        .expect("unique");
+        ckt.capacitor(&format!("c{k}"), &format!("n{}", k + 1), "0", 1e-12)
+            .expect("unique");
+        ckt.inductor(&format!("l{k}"), &format!("n{}", k + 1), "0", 1e-6)
+            .expect("unique");
+    }
+    ckt.fet("m1", "n10", "n5", "0", std::sync::Arc::new(LinearFet))
+        .expect("fet");
+    let freqs = log_freqs(15, 1e6, 1e9);
+    let dense = ckt
+        .ac_sweep_with("vin", &freqs, AcMethod::Dense)
+        .expect("dense");
+    let sparse = ckt
+        .ac_sweep_with("vin", &freqs, AcMethod::Sparse)
+        .expect("sparse");
+    for (fd, fs) in dense.solutions().iter().zip(sparse.solutions()) {
+        for (d, s) in fd.iter().zip(fs) {
+            let err = (*d - *s).abs();
+            assert!(err < 1e-9 * d.abs().max(1.0), "dense {d:?} vs sparse {s:?}");
+        }
+    }
+}

@@ -128,6 +128,47 @@ proptest! {
         }
     }
 
+    /// The sparse complex replay path agrees with the dense complex
+    /// oracle on random RC ladders: same circuit, same frequencies,
+    /// answers equal to tight relative tolerance at every unknown.
+    /// (Exact bit equality is reserved for same-path comparisons — the
+    /// two solvers eliminate in different orders.)
+    #[test]
+    fn ac_sparse_agrees_with_dense_oracle(
+        stages in 17usize..40,
+        r_exp in 2.0_f64..5.0,
+        c_exp in -13.0_f64..-10.0,
+        f_lo_exp in 3.0_f64..6.0,
+    ) {
+        let (r, c) = (10f64.powf(r_exp), 10f64.powf(c_exp));
+        let mut ckt = Circuit::new();
+        ckt.voltage_source("vin", "n0", "0", 0.0);
+        for k in 0..stages {
+            ckt.resistor(&format!("r{k}"), &format!("n{k}"), &format!("n{}", k + 1), r)
+                .expect("unique");
+            ckt.capacitor(&format!("c{k}"), &format!("n{}", k + 1), "0", c)
+                .expect("unique");
+        }
+        let freqs: Vec<f64> = (0..8)
+            .map(|k| 10f64.powf(f_lo_exp) * 10f64.powf(k as f64 / 2.0))
+            .collect();
+        let dense = ckt
+            .ac_sweep_with("vin", &freqs, carbon_spice::AcMethod::Dense)
+            .expect("dense solves");
+        let sparse = ckt
+            .ac_sweep_with("vin", &freqs, carbon_spice::AcMethod::Sparse)
+            .expect("sparse solves");
+        for (fd, fs) in dense.solutions().iter().zip(sparse.solutions()) {
+            for (d, s) in fd.iter().zip(fs) {
+                let err = (*d - *s).abs();
+                prop_assert!(
+                    err < 1e-9 * d.abs().max(1e-3),
+                    "dense {d:?} vs sparse {s:?} (err {err:.3e})"
+                );
+            }
+        }
+    }
+
     /// AC magnitude of the RC low-pass is the analytic |H| at every
     /// random frequency.
     #[test]

@@ -116,6 +116,103 @@ fn dc_sweep_spans_nest_newton_solves() {
     }
 }
 
+/// Series-R / shunt-C ladder with `n` stages; n ≥ 16 puts the AC sweep
+/// on the sparse replay path.
+fn rc_ladder(n: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vin", "n0", "0", 0.0);
+    for k in 0..n {
+        ckt.resistor(
+            &format!("r{k}"),
+            &format!("n{k}"),
+            &format!("n{}", k + 1),
+            1e3,
+        )
+        .expect("unique");
+        ckt.capacitor(&format!("c{k}"), &format!("n{}", k + 1), "0", 1e-12)
+            .expect("unique");
+    }
+    ckt
+}
+
+#[test]
+fn ac_sweep_traces_one_factor_and_replays_the_rest() {
+    let ckt = rc_ladder(20);
+    let freqs: Vec<f64> = (0..12).map(|k| 1e5 * 10f64.powf(k as f64 / 3.0)).collect();
+
+    let collector = Collector::new();
+    let traced = carbon_trace::with_subscriber(collector.clone(), || ckt.ac_sweep("vin", &freqs))
+        .expect("sweeps");
+
+    // The factor/replay schedule is the whole point of the sparse AC
+    // path: one full factorization at the head frequency, and every
+    // other point either replays or (rarely) falls back to a repivot.
+    assert_eq!(collector.counter_total("spice.sparse.ac_factor"), 1);
+    assert_eq!(
+        collector.counter_total("spice.sparse.ac_replay")
+            + collector.counter_total("spice.sparse.ac_repivot"),
+        (freqs.len() - 1) as u64,
+        "every non-head frequency is a replay or a repivot: {:?}",
+        collector.counter_totals()
+    );
+
+    // The sweep span carries the system size, point count, and path.
+    let sweeps = collector.spans("spice.ac_sweep");
+    assert_eq!(sweeps.len(), 1);
+    assert_eq!(
+        collector.span_field("spice.ac_sweep", "points"),
+        vec![Value::U64(freqs.len() as u64)]
+    );
+    assert_eq!(
+        collector.span_field("spice.ac_sweep", "method"),
+        vec![Value::Str("sparse".into())]
+    );
+    assert_eq!(
+        collector.span_field("spice.ac_sweep", "n"),
+        vec![Value::U64(22)],
+        "21 nodes plus the source branch"
+    );
+
+    // Observation must not participate.
+    let untraced = ckt.ac_sweep("vin", &freqs).expect("sweeps");
+    assert_eq!(traced.solutions(), untraced.solutions());
+}
+
+#[test]
+fn ac_sweep_par_traces_chunk_spans() {
+    let ckt = rc_ladder(20);
+    let freqs: Vec<f64> = (0..10).map(|k| 1e5 * 10f64.powf(k as f64 / 3.0)).collect();
+
+    let collector = Collector::new();
+    // One worker keeps every span on the subscriber's thread.
+    let ex = carbon_runtime::executor::Executor::with_threads(1);
+    let traced = carbon_trace::with_subscriber(collector.clone(), || {
+        ckt.ac_sweep_par_on(&ex, "vin", &freqs, 4)
+    })
+    .expect("sweeps");
+
+    assert_eq!(collector.spans("spice.ac_sweep_par").len(), 1);
+    assert_eq!(
+        collector.span_field("spice.ac_sweep_par", "n_chunks"),
+        vec![Value::U64(3)]
+    );
+    assert_eq!(
+        collector.spans("spice.ac_chunk").len(),
+        3,
+        "one span per chunk"
+    );
+    // Each chunk factors at its own head frequency, then replays.
+    assert_eq!(collector.counter_total("spice.sparse.ac_factor"), 3);
+    assert_eq!(
+        collector.counter_total("spice.sparse.ac_replay")
+            + collector.counter_total("spice.sparse.ac_repivot"),
+        (freqs.len() - 3) as u64
+    );
+
+    let untraced = ckt.ac_sweep_par_on(&ex, "vin", &freqs, 4).expect("sweeps");
+    assert_eq!(traced.solutions(), untraced.solutions());
+}
+
 /// A deliberately broken device: the drain current steps discontinuously
 /// once the gate passes threshold, so Newton two-cycles between the
 /// on- and off-branches and no amount of step halving can converge the
