@@ -65,6 +65,69 @@ for t in 1 2 4 8; do
     || { echo "trace summary missing ac_sweep_par span (threads=$t)"; exit 1; }
 done
 
+# Convergence baseline gate: fold fig2/fig7 traces (at pinned
+# CARBON_THREADS=2) into their integer rows — Newton iterations,
+# repivots, sweep shapes, campaign sizes — and diff against the
+# committed baselines at threshold 0. The rows are deterministic, so
+# ANY growth (a convergence regression, an extra repivot) fails; the
+# load-dependent /dur_ns rows are filtered out. Regenerate after an
+# intentional solver change with:
+#   CARBON_THREADS=2 CARBON_TRACE=/tmp/t.jsonl target/release/carbon-bench fig2 > /dev/null
+#   target/release/carbon-bench trace-summary /tmp/t.jsonl | grep -v '/dur_ns' \
+#     > benches/baseline/fig2-trace.jsonl              # likewise for fig7
+echo "==> convergence baseline gate: fig2 + fig7 integer trace rows (threads=2)"
+for fig in fig2 fig7; do
+  CARBON_THREADS=2 CARBON_TRACE="$trace_dir/$fig-conv.jsonl" \
+    "$bench_bin" "$fig" > /dev/null
+  "$bench_bin" trace-summary "$trace_dir/$fig-conv.jsonl" | grep -v '/dur_ns' \
+    > "$trace_dir/$fig-conv-summary.jsonl"
+  "$bench_bin" compare "benches/baseline/$fig-trace.jsonl" \
+    "$trace_dir/$fig-conv-summary.jsonl" --threshold 0 \
+    || { echo "$fig convergence counters regressed against benches/baseline/$fig-trace.jsonl"; exit 1; }
+done
+
+# Serve smoke: the job service must lint clean, sustain a mixed load
+# over 8 concurrent connections with zero protocol errors, keep its
+# response bodies byte-identical at every CARBON_THREADS (the digest
+# covers every ok response, id-sorted), surface a saturated queue as
+# structured busy responses (not errors, not stalls), and emit
+# serve.request spans that trace-summary can aggregate.
+run cargo clippy --offline -p carbon-json --all-targets -- -D warnings
+run cargo clippy --offline -p carbon-serve --all-targets -- -D warnings
+echo "==> serve smoke: mixed load digest byte-identity across thread counts"
+ref_digest=""
+for t in 1 2 4 8; do
+  CARBON_THREADS=$t "$bench_bin" serve-load \
+    --connections 8 --jobs 1000 --queue-depth 1024 --digest \
+    > "$trace_dir/serve-$t.txt" 2> "$trace_dir/serve-$t.log" \
+    || { echo "serve-load failed at threads=$t"; cat "$trace_dir/serve-$t.log"; exit 1; }
+  digest=$(grep '^digest=' "$trace_dir/serve-$t.txt")
+  [[ -n "$digest" ]] || { echo "serve-load printed no digest (threads=$t)"; exit 1; }
+  if [[ -z "$ref_digest" ]]; then
+    ref_digest="$digest"
+  elif [[ "$digest" != "$ref_digest" ]]; then
+    echo "serve responses drifted at threads=$t: $digest vs $ref_digest"
+    exit 1
+  fi
+done
+echo "==> serve smoke: saturated queue answers busy, run still clean"
+CARBON_THREADS=2 "$bench_bin" serve-load \
+  --connections 8 --jobs 200 --workers 1 --queue-depth 1 \
+  > /dev/null 2> "$trace_dir/serve-busy.log" \
+  || { echo "serve-load under saturation failed"; cat "$trace_dir/serve-busy.log"; exit 1; }
+busy_count=$(grep -o 'busy [0-9]*' "$trace_dir/serve-busy.log" | head -1 | cut -d' ' -f2)
+[[ "${busy_count:-0}" -gt 0 ]] \
+  || { echo "tight queue produced no busy responses"; cat "$trace_dir/serve-busy.log"; exit 1; }
+echo "==> serve smoke: serve.request spans aggregate through trace-summary"
+CARBON_THREADS=2 CARBON_TRACE="$trace_dir/serve-trace.jsonl" "$bench_bin" serve-load \
+  --connections 4 --jobs 100 --queue-depth 128 > /dev/null 2>&1 \
+  || { echo "traced serve-load failed"; exit 1; }
+"$bench_bin" trace-summary "$trace_dir/serve-trace.jsonl" > "$trace_dir/serve-summary.jsonl"
+grep -q '"id":"trace/serve.request/dur_ns"' "$trace_dir/serve-summary.jsonl" \
+  || { echo "trace summary missing serve.request spans"; exit 1; }
+grep -q '"id":"trace/counter/serve.accepted"' "$trace_dir/serve-summary.jsonl" \
+  || { echo "trace summary missing serve.accepted counter"; exit 1; }
+
 # Opt-in benchmark regression gate: measure the solver group for real
 # and diff it against the committed baseline, failing on >10 % median
 # regressions. Off by default — timings are only meaningful on a quiet

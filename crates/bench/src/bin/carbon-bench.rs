@@ -23,10 +23,20 @@
 //! `ac` runs a parallel sparse AC sweep of the 64-stage RC ladder and
 //! prints every phasor at full precision — the deterministic target
 //! the CI AC smoke test diffs across thread counts.
+//!
+//! `fig7` runs the §V statistics experiment and prints its report —
+//! the pure-sampling traced-run target for the CI trace baselines.
+//!
+//! `serve-load` starts an in-process carbon-serve server on loopback
+//! and drives it with a deterministic mixed job load; latency rows go
+//! to stdout in the compare-JSONL schema, the human summary to stderr.
+//! `--digest` appends an FNV-1a 64 digest of the id-sorted response
+//! bodies, which `ci.sh` diffs across `CARBON_THREADS`.
 
 use std::process::ExitCode;
 
 use carbon_bench::compare::{compare, parse_jsonl};
+use carbon_bench::serve_load;
 use carbon_bench::summary::summarize;
 
 fn usage() -> ExitCode {
@@ -34,7 +44,10 @@ fn usage() -> ExitCode {
         "usage: carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]\n       \
          carbon-bench trace-summary <trace.jsonl>\n       \
          carbon-bench fig2\n       \
-         carbon-bench ac"
+         carbon-bench fig7\n       \
+         carbon-bench ac\n       \
+         carbon-bench serve-load [--connections <n>] [--jobs <n>] [--workers <n>]\n                               \
+         [--queue-depth <n>] [--digest]"
     );
     ExitCode::from(2)
 }
@@ -45,8 +58,67 @@ fn main() -> ExitCode {
         Some("compare") => run_compare(&args[1..]),
         Some("trace-summary") => run_trace_summary(&args[1..]),
         Some("fig2") => run_fig2(),
+        Some("fig7") => run_fig7(),
         Some("ac") => run_ac(),
+        Some("serve-load") => run_serve_load(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn run_fig7() -> ExitCode {
+    match carbon_core::fig7_stats::run() {
+        Ok(fig) => {
+            print!("{fig}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("carbon-bench: fig7: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_serve_load(args: &[String]) -> ExitCode {
+    let mut config = serve_load::LoadConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut parse_next = |target: &mut usize| -> bool {
+            match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => {
+                    *target = n;
+                    true
+                }
+                _ => false,
+            }
+        };
+        let ok = match a.as_str() {
+            "--connections" => parse_next(&mut config.connections),
+            "--jobs" => parse_next(&mut config.jobs),
+            "--workers" => parse_next(&mut config.workers),
+            "--queue-depth" => parse_next(&mut config.queue_depth),
+            "--digest" => {
+                config.digest = true;
+                true
+            }
+            _ => false,
+        };
+        if !ok {
+            return usage();
+        }
+    }
+    match serve_load::run(&config) {
+        Ok(report) => {
+            print!("{}", report.jsonl);
+            if let Some(digest) = report.digest {
+                println!("digest={digest:016x}");
+            }
+            eprint!("{}", report.summary);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("carbon-bench: serve-load: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -42,43 +42,10 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Extracts a JSON string field (`"key":"..."`) from a flat object,
-/// un-escaping the sequences the harness writer produces.
-pub(crate) fn string_field(line: &str, key: &str) -> Option<String> {
-    let tag = format!("\"{key}\":\"");
-    let start = line.find(&tag)? + tag.len();
-    let rest = &line[start..];
-    let mut out = String::new();
-    let mut chars = rest.chars();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                'n' => out.push('\n'),
-                't' => out.push('\t'),
-                'u' => {
-                    let hex: String = chars.by_ref().take(4).collect();
-                    let code = u32::from_str_radix(&hex, 16).ok()?;
-                    out.push(char::from_u32(code)?);
-                }
-                esc => out.push(esc),
-            },
-            c => out.push(c),
-        }
-    }
-    None
-}
-
-/// Extracts a JSON unsigned-integer field (`"key":123`).
-pub(crate) fn u64_field(line: &str, key: &str) -> Option<u64> {
-    let tag = format!("\"{key}\":");
-    let start = line.find(&tag)? + tag.len();
-    let digits: String = line[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
-    digits.parse().ok()
-}
+// The flat-field scanners moved to the shared `carbon-json` module
+// (they are also what `carbon-serve`'s tooling reads frames with);
+// re-exported here so the rest of the crate keeps its call sites.
+pub(crate) use carbon_json::{string_field, u64_field};
 
 /// Parses a benchmark snapshot (one JSON object per non-empty line).
 ///

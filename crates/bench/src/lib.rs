@@ -12,6 +12,7 @@
 #![deny(missing_docs)]
 
 pub mod compare;
+pub mod serve_load;
 pub mod summary;
 
 use carbon_spice::Circuit;

@@ -1,0 +1,395 @@
+//! `carbon-bench serve-load`: a load generator for the carbon-serve
+//! job service.
+//!
+//! Starts an in-process server on loopback, drives it from N
+//! concurrent connections with a deterministic mixed job distribution,
+//! and reports throughput and per-kind latency percentiles. Latency
+//! rows go to stdout in the compare-JSONL schema (so the existing
+//! `carbon-bench compare` tooling can consume them); the human summary
+//! goes to stderr.
+//!
+//! With `digest: true`, the report carries an FNV-1a 64 digest of the
+//! (id-sorted) successful response bodies. Responses are deterministic
+//! at the service boundary, so `ci.sh` diffs this digest across
+//! `CARBON_THREADS` values to catch any scheduling leak into the wire
+//! format.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use carbon_json::Json;
+use carbon_serve::{Client, Server, ServerConfig};
+
+const RC_DECK: &str = "* rc low-pass\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n.end\n";
+const DIVIDER_DECK: &str =
+    "* loaded divider\nV1 top 0 2\nR1 top mid 2k\nR2 mid 0 2k\nC1 mid 0 10n\n.end\n";
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total jobs across all connections.
+    pub jobs: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server queue depth (admission bound).
+    pub queue_depth: usize,
+    /// Compute the response-body digest.
+    pub digest: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            connections: 8,
+            jobs: 1000,
+            workers: carbon_runtime::Executor::new().threads(),
+            queue_depth: 64,
+            digest: false,
+        }
+    }
+}
+
+/// One job's outcome as seen by its client.
+struct Sample {
+    id: usize,
+    kind: &'static str,
+    latency_ns: u64,
+    status: String,
+    body: Vec<u8>,
+}
+
+/// Aggregated results of a load run.
+pub struct LoadReport {
+    /// compare-JSONL rows (one per job kind plus `serve/all`).
+    pub jsonl: String,
+    /// Human-readable summary.
+    pub summary: String,
+    /// FNV-1a 64 digest over id-sorted `ok` response bodies (when
+    /// requested).
+    pub digest: Option<u64>,
+    /// Count of `busy` rejections observed by clients.
+    pub busy: u64,
+    /// Count of responses that were neither `ok` nor `busy`.
+    pub failed: u64,
+}
+
+/// The deterministic mixed distribution: job `i`'s request body.
+/// Every 97th job is a full `fig7` campaign; the rest cycle through
+/// the four circuit analyses over two decks.
+fn request_body(i: usize) -> (&'static str, String) {
+    let (kind, job) = if i % 97 == 96 {
+        ("fig7", Json::obj().push("kind", "fig7"))
+    } else {
+        match i % 5 {
+            0 => (
+                "op",
+                Json::obj()
+                    .push("kind", "op")
+                    .push("deck", RC_DECK)
+                    .push("nodes", nodes(&["in", "out"])),
+            ),
+            1 => (
+                "dc_sweep",
+                Json::obj()
+                    .push("kind", "dc_sweep")
+                    .push("deck", DIVIDER_DECK)
+                    .push("source", "V1")
+                    .push("from", 0.0)
+                    .push("to", 2.0)
+                    .push("step", 0.25)
+                    .push("nodes", nodes(&["mid"])),
+            ),
+            2 => (
+                "ac_sweep",
+                Json::obj()
+                    .push("kind", "ac_sweep")
+                    .push("deck", RC_DECK)
+                    .push("source", "V1")
+                    .push("fstart", 1.0)
+                    .push("fstop", 1e5)
+                    .push("points_per_decade", 5)
+                    .push("nodes", nodes(&["out"])),
+            ),
+            3 => (
+                "transient",
+                Json::obj()
+                    .push("kind", "transient")
+                    .push("deck", RC_DECK)
+                    .push("tstep", 1e-5)
+                    .push("tstop", 1e-3)
+                    .push("nodes", nodes(&["out"])),
+            ),
+            _ => (
+                "op",
+                Json::obj()
+                    .push("kind", "op")
+                    .push("deck", DIVIDER_DECK)
+                    .push("nodes", nodes(&["mid", "top"])),
+            ),
+        }
+    };
+    (kind, Json::obj().push("id", i).push("job", job).render())
+}
+
+fn nodes(names: &[&str]) -> Json {
+    Json::Arr(names.iter().map(|n| Json::Str((*n).to_owned())).collect())
+}
+
+/// Runs the load and aggregates the report.
+///
+/// # Errors
+///
+/// Returns a rendered error for bind failures and for any protocol
+/// error (a client that fails to get a response, a non-JSON body, a
+/// missing id).
+pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth,
+            default_timeout_ms: None,
+        },
+    )
+    .map_err(|e| format!("cannot bind loopback server: {e}"))?;
+    let addr = server.local_addr();
+    let connections = config.connections.max(1);
+
+    let started = Instant::now();
+    let jobs = config.jobs;
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || -> Result<Vec<Sample>, String> {
+                    let mut client = Client::connect(addr)
+                        .map_err(|e| format!("connection {c}: connect failed: {e}"))?;
+                    (c..jobs)
+                        .step_by(connections)
+                        .map(|i| one_call(&mut client, i))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect::<Result<Vec<_>, _>>()
+            .map(|per_conn| per_conn.into_iter().flatten().collect())
+    })?;
+    let elapsed = started.elapsed();
+    let stats = server.shutdown();
+
+    let mut by_kind: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut all = Vec::with_capacity(samples.len());
+    let mut busy = 0u64;
+    let mut failed = 0u64;
+    for s in &samples {
+        match s.status.as_str() {
+            "ok" => {
+                by_kind.entry(s.kind).or_default().push(s.latency_ns);
+                all.push(s.latency_ns);
+            }
+            "busy" => busy += 1,
+            _ => failed += 1,
+        }
+    }
+
+    let mut jsonl = String::new();
+    for (kind, mut lat) in by_kind {
+        lat.sort_unstable();
+        jsonl_row(&mut jsonl, &format!("serve/{kind}/latency_ns"), &lat);
+    }
+    all.sort_unstable();
+    if !all.is_empty() {
+        jsonl_row(&mut jsonl, "serve/all/latency_ns", &all);
+    }
+
+    let throughput = samples.len() as f64 / elapsed.as_secs_f64();
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "serve-load: {} jobs over {} connection(s), {} worker(s), queue depth {}",
+        samples.len(),
+        connections,
+        config.workers.max(1),
+        config.queue_depth,
+    );
+    let _ = writeln!(
+        summary,
+        "  wall {:.3} s, throughput {throughput:.0} jobs/s",
+        elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        summary,
+        "  ok {} busy {busy} failed {failed} | server: accepted {} rejected {} timed-out {} \
+         protocol-errors {}",
+        all.len(),
+        stats.accepted,
+        stats.rejected_busy,
+        stats.timed_out,
+        stats.protocol_errors,
+    );
+    if !all.is_empty() {
+        let _ = writeln!(
+            summary,
+            "  latency p50 {} µs  p90 {} µs  p99 {} µs  max {} µs",
+            percentile(&all, 50.0) / 1_000,
+            percentile(&all, 90.0) / 1_000,
+            percentile(&all, 99.0) / 1_000,
+            all.last().copied().unwrap_or(0) / 1_000,
+        );
+    }
+
+    if stats.protocol_errors > 0 {
+        return Err(format!(
+            "server counted {} protocol error(s)",
+            stats.protocol_errors
+        ));
+    }
+    if failed > 0 {
+        return Err(format!("{failed} job(s) answered neither ok nor busy"));
+    }
+
+    let digest = config.digest.then(|| {
+        let mut ok: Vec<(usize, &[u8])> = samples
+            .iter()
+            .filter(|s| s.status == "ok")
+            .map(|s| (s.id, s.body.as_slice()))
+            .collect();
+        ok.sort_unstable_by_key(|(id, _)| *id);
+        let mut h = Fnv::new();
+        for (id, body) in ok {
+            h.write(&(id as u64).to_be_bytes());
+            h.write(body);
+            h.write(b"\n");
+        }
+        h.finish()
+    });
+
+    Ok(LoadReport {
+        jsonl,
+        summary,
+        digest,
+        busy,
+        failed,
+    })
+}
+
+fn one_call(client: &mut Client, i: usize) -> Result<Sample, String> {
+    let (kind, body) = request_body(i);
+    let t0 = Instant::now();
+    let raw = client
+        .call_raw(body.as_bytes())
+        .map_err(|e| format!("job {i}: {e}"))?;
+    let latency_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let text = std::str::from_utf8(&raw).map_err(|_| format!("job {i}: non-UTF-8 response"))?;
+    let status = carbon_json::string_field(text, "status")
+        .ok_or_else(|| format!("job {i}: response without status: {text}"))?;
+    Ok(Sample {
+        id: i,
+        kind,
+        latency_ns,
+        status,
+        body: raw,
+    })
+}
+
+fn jsonl_row(out: &mut String, id: &str, sorted: &[u64]) {
+    let _ = writeln!(
+        out,
+        "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"iters\":{}}}",
+        carbon_json::escape(id),
+        percentile(sorted, 50.0),
+        sorted.first().copied().unwrap_or(0),
+        sorted.last().copied().unwrap_or(0),
+        sorted.len(),
+    );
+}
+
+/// Nearest-rank percentile on a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// FNV-1a 64.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_deterministic_and_mixed() {
+        let kinds: Vec<&str> = (0..200).map(|i| request_body(i).0).collect();
+        assert_eq!(
+            kinds,
+            (0..200).map(|i| request_body(i).0).collect::<Vec<_>>()
+        );
+        for kind in ["op", "dc_sweep", "ac_sweep", "transient", "fig7"] {
+            assert!(kinds.contains(&kind), "missing {kind}");
+        }
+        let (_, body) = request_body(3);
+        assert!(body.contains("\"id\":3"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(percentile(&v, 50.0), 20);
+        assert_eq!(percentile(&v, 99.0), 40);
+        assert_eq!(percentile(&v, 0.0), 10);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        let mut h = Fnv::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn small_load_runs_clean() {
+        let report = run(&LoadConfig {
+            connections: 2,
+            jobs: 20,
+            workers: 2,
+            queue_depth: 32,
+            digest: true,
+        })
+        .expect("load run succeeds");
+        assert_eq!(report.failed, 0);
+        assert!(report.jsonl.contains("serve/all/latency_ns"));
+        assert!(report.digest.is_some());
+    }
+}

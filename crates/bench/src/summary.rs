@@ -21,6 +21,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use carbon_json::find_string_end;
+
 use crate::compare::{string_field, u64_field};
 
 /// One aggregated statistic from a trace.
@@ -120,21 +122,6 @@ fn integer_fields(line: &str) -> Vec<(String, u64)> {
         }
     }
     out
-}
-
-/// Index of the closing quote of a JSON string whose opening quote has
-/// already been consumed, honoring backslash escapes.
-fn find_string_end(s: &str) -> Option<usize> {
-    let mut escaped = false;
-    for (i, c) in s.char_indices() {
-        match c {
-            _ if escaped => escaped = false,
-            '\\' => escaped = true,
-            '"' => return Some(i),
-            _ => {}
-        }
-    }
-    None
 }
 
 /// Aggregates a trace JSONL text into benchmark-schema statistics.

@@ -40,6 +40,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_stats;
 pub mod fig8_computer;
+pub mod jobs;
 pub mod refdata;
 pub mod rf;
 pub mod table;

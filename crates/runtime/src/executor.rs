@@ -178,10 +178,15 @@ impl Executor {
 
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Vec<T>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        // Workers inherit the caller's cancellation token (if any), so
+        // a deadline installed around a parallel sweep reaches the
+        // checkpoints inside every chunk.
+        let token = crate::cancel::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     IN_WORKER.with(|w| w.set(true));
+                    let _inherit = crate::cancel::inherit(token.clone());
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {

@@ -37,11 +37,13 @@
 )]
 
 pub mod bench;
+pub mod cancel;
 pub mod dist;
 pub mod executor;
 pub mod prop;
 pub mod rng;
 
+pub use cancel::CancelToken;
 pub use dist::{Bernoulli, DistError, Distribution, LogNormal, Normal, Poisson, Uniform};
 pub use executor::{par_map, par_mc, par_mc_fine, Executor, MC_CHUNK};
 pub use rng::{Rng, RngCore, SplitMix64, Xoshiro256pp};

@@ -1,0 +1,619 @@
+//! The job model: what the service runs, validated up front.
+//!
+//! A job arrives as the `"job"` object of a request envelope. Its
+//! `"kind"` selects one of seven shapes:
+//!
+//! * circuit analyses on a netlist deck carried in the request —
+//!   `"op"`, `"dc_sweep"`, `"ac_sweep"`, `"transient"`; each names the
+//!   probe nodes explicitly, so a response never depends on internal
+//!   table ordering;
+//! * paper figure experiments — `"fig2"`, `"fig5"`, `"fig7"` — which
+//!   take no parameters and return the flat scalar reports of
+//!   [`carbon_core::jobs`].
+//!
+//! [`Job::from_json`] performs the whole validation — unknown kinds are
+//! rejected with the valid choices listed, missing or ill-typed fields
+//! are named, numeric bounds are enforced, and the netlist deck is
+//! parsed — **before** the job is admitted to the queue, so a malformed
+//! request can never occupy a worker.
+//!
+//! Execution ([`Job::run`]) produces a [`Json`] tree with insertion-
+//! ordered fields and no timestamps, so the rendered result for a given
+//! request body is byte-identical regardless of worker count or arrival
+//! order.
+
+use carbon_json::Json;
+use carbon_spice::parser::parse_deck;
+use carbon_spice::{Circuit, SpiceError};
+
+/// The job kinds the service accepts, in the order error messages list
+/// them.
+pub const JOB_KINDS: [&str; 7] = [
+    "op",
+    "dc_sweep",
+    "ac_sweep",
+    "transient",
+    "fig2",
+    "fig5",
+    "fig7",
+];
+
+/// Largest accepted AC grid, points. Bounds the work a single request
+/// can demand.
+pub const MAX_AC_POINTS: usize = 100_000;
+
+/// Errors from job validation and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The request was rejected before execution; the message names the
+    /// offending field.
+    Invalid {
+        /// Human-readable reason, naming the field.
+        reason: String,
+    },
+    /// The analysis itself failed (non-convergence, singular matrix,
+    /// unknown probe node, ...).
+    Exec {
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// The job observed its deadline (or an explicit cancel) at a
+    /// solver checkpoint and stopped early.
+    Cancelled {
+        /// The underlying cancellation report.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid { reason } => write!(f, "invalid job: {reason}"),
+            Self::Exec { message } => write!(f, "job failed: {message}"),
+            Self::Cancelled { message } => write!(f, "job cancelled: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl JobError {
+    fn invalid(reason: impl Into<String>) -> Self {
+        Self::Invalid {
+            reason: reason.into(),
+        }
+    }
+
+    /// Classifies a solver error: cancellation keeps its own variant so
+    /// the server can answer with status `"timeout"` instead of
+    /// `"error"`.
+    fn from_spice(e: &SpiceError) -> Self {
+        match e {
+            SpiceError::Cancelled { .. } => Self::Cancelled {
+                message: e.to_string(),
+            },
+            other => Self::Exec {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+/// A validated, ready-to-run job. Decks are parsed at validation time,
+/// so a `Job` that reaches a worker can only fail in the solver.
+#[derive(Debug)]
+pub enum Job {
+    /// DC operating point of a deck; reports the named node voltages.
+    Op {
+        /// The parsed netlist.
+        circuit: Circuit,
+        /// Probe nodes, in request order.
+        nodes: Vec<String>,
+    },
+    /// DC sweep of a named source.
+    DcSweep {
+        /// The parsed netlist.
+        circuit: Circuit,
+        /// Swept source name.
+        source: String,
+        /// Sweep start, V or A.
+        from: f64,
+        /// Sweep stop, V or A.
+        to: f64,
+        /// Sweep step (positive).
+        step: f64,
+        /// Probe nodes, in request order.
+        nodes: Vec<String>,
+    },
+    /// AC sweep over a log-spaced frequency grid.
+    AcSweep {
+        /// The parsed netlist.
+        circuit: Circuit,
+        /// AC stimulus source name.
+        source: String,
+        /// Materialized frequency grid, Hz.
+        freqs: Vec<f64>,
+        /// Probe nodes, in request order.
+        nodes: Vec<String>,
+    },
+    /// Fixed-step transient analysis.
+    Transient {
+        /// The parsed netlist.
+        circuit: Circuit,
+        /// Time step, s.
+        tstep: f64,
+        /// Stop time, s.
+        tstop: f64,
+        /// Probe nodes, in request order.
+        nodes: Vec<String>,
+    },
+    /// The Fig. 2 inverter experiment.
+    Fig2,
+    /// The Fig. 5 CNT benchmarking experiment.
+    Fig5,
+    /// The §V variability-statistics experiment.
+    Fig7,
+}
+
+impl Job {
+    /// The job's kind string, for spans and load statistics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Op { .. } => "op",
+            Self::DcSweep { .. } => "dc_sweep",
+            Self::AcSweep { .. } => "ac_sweep",
+            Self::Transient { .. } => "transient",
+            Self::Fig2 => "fig2",
+            Self::Fig5 => "fig5",
+            Self::Fig7 => "fig7",
+        }
+    }
+
+    /// Validates the `"job"` object of a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::Invalid`] naming the offending field for
+    /// unknown kinds, missing or ill-typed fields, out-of-range values,
+    /// and malformed decks.
+    pub fn from_json(job: &Json) -> Result<Self, JobError> {
+        if !matches!(job, Json::Obj(_)) {
+            return Err(JobError::invalid("job must be an object"));
+        }
+        let kind = job
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JobError::invalid("job.kind must be a string"))?;
+        match kind {
+            "op" => Ok(Self::Op {
+                circuit: deck_field(job)?,
+                nodes: nodes_field(job)?,
+            }),
+            "dc_sweep" => {
+                let from = num_field(job, "from")?;
+                let to = num_field(job, "to")?;
+                let step = num_field(job, "step")?;
+                if step <= 0.0 {
+                    return Err(JobError::invalid(format!(
+                        "job.step = {step} must be positive"
+                    )));
+                }
+                Ok(Self::DcSweep {
+                    circuit: deck_field(job)?,
+                    source: str_field(job, "source")?,
+                    from,
+                    to,
+                    step,
+                    nodes: nodes_field(job)?,
+                })
+            }
+            "ac_sweep" => {
+                let fstart = num_field(job, "fstart")?;
+                let fstop = num_field(job, "fstop")?;
+                let ppd = job
+                    .get("points_per_decade")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| {
+                        JobError::invalid("job.points_per_decade must be a positive integer")
+                    })?;
+                if fstart <= 0.0 {
+                    return Err(JobError::invalid(format!(
+                        "job.fstart = {fstart} must be positive"
+                    )));
+                }
+                if fstop < fstart {
+                    return Err(JobError::invalid(format!(
+                        "job.fstop = {fstop} must be at least job.fstart = {fstart}"
+                    )));
+                }
+                if ppd == 0 {
+                    return Err(JobError::invalid(
+                        "job.points_per_decade must be a positive integer",
+                    ));
+                }
+                // Bound the grid from the decade count BEFORE
+                // materializing it — the estimate is within one point
+                // of the real size, so an oversized request cannot
+                // allocate an oversized vector first.
+                let estimated = (fstop / fstart).log10().max(0.0) * ppd as f64;
+                if !estimated.is_finite() || estimated >= MAX_AC_POINTS as f64 {
+                    return Err(JobError::invalid(format!(
+                        "ac grid would have about {estimated:.0} points, more than the \
+                         maximum {MAX_AC_POINTS}"
+                    )));
+                }
+                let freqs = log_grid(fstart, fstop, ppd);
+                Ok(Self::AcSweep {
+                    circuit: deck_field(job)?,
+                    source: str_field(job, "source")?,
+                    freqs,
+                    nodes: nodes_field(job)?,
+                })
+            }
+            "transient" => {
+                let tstep = num_field(job, "tstep")?;
+                let tstop = num_field(job, "tstop")?;
+                for (field, value) in [("tstep", tstep), ("tstop", tstop)] {
+                    if value <= 0.0 {
+                        return Err(JobError::invalid(format!(
+                            "job.{field} = {value} must be positive"
+                        )));
+                    }
+                }
+                if tstep > tstop {
+                    return Err(JobError::invalid(format!(
+                        "job.tstep = {tstep} exceeds job.tstop = {tstop}"
+                    )));
+                }
+                Ok(Self::Transient {
+                    circuit: deck_field(job)?,
+                    tstep,
+                    tstop,
+                    nodes: nodes_field(job)?,
+                })
+            }
+            "fig2" => Ok(Self::Fig2),
+            "fig5" => Ok(Self::Fig5),
+            "fig7" => Ok(Self::Fig7),
+            other => Err(JobError::invalid(format!(
+                "unknown job.kind '{other}': valid kinds are {}",
+                JOB_KINDS.join(", ")
+            ))),
+        }
+    }
+
+    /// Runs the job to a deterministic result tree.
+    ///
+    /// Workers install a [`carbon_runtime::CancelToken`] scope around
+    /// this call; solver checkpoints turn an expired deadline into
+    /// [`JobError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::Exec`] for solver failures and unknown probe names,
+    /// [`JobError::Cancelled`] when a deadline fires.
+    pub fn run(&self) -> Result<Json, JobError> {
+        match self {
+            Self::Op { circuit, nodes } => {
+                let op = circuit.op().map_err(|e| JobError::from_spice(&e))?;
+                let mut voltages = Json::obj();
+                for node in nodes {
+                    let v = op.voltage(node).map_err(|e| JobError::from_spice(&e))?;
+                    voltages = voltages.push(node, v);
+                }
+                Ok(Json::obj().push("nodes", voltages))
+            }
+            Self::DcSweep {
+                circuit,
+                source,
+                from,
+                to,
+                step,
+                nodes,
+            } => {
+                let sweep = circuit
+                    .dc_sweep(source, *from, *to, *step)
+                    .map_err(|e| JobError::from_spice(&e))?;
+                let mut traces = Json::obj();
+                for node in nodes {
+                    let vs = sweep.voltages(node).map_err(|e| JobError::from_spice(&e))?;
+                    traces = traces.push(node, float_array(&vs));
+                }
+                Ok(Json::obj()
+                    .push("sweep", float_array(sweep.sweep_values()))
+                    .push("newton_iterations", sweep.total_newton_iterations())
+                    .push("nodes", traces))
+            }
+            Self::AcSweep {
+                circuit,
+                source,
+                freqs,
+                nodes,
+            } => {
+                let ac = circuit
+                    .ac_sweep(source, freqs)
+                    .map_err(|e| JobError::from_spice(&e))?;
+                let mut traces = Json::obj();
+                for node in nodes {
+                    let mag = ac.magnitude(node).map_err(|e| JobError::from_spice(&e))?;
+                    let phase = ac.phase(node).map_err(|e| JobError::from_spice(&e))?;
+                    traces = traces.push(
+                        node,
+                        Json::obj()
+                            .push("magnitude", float_array(&mag))
+                            .push("phase_rad", float_array(&phase)),
+                    );
+                }
+                Ok(Json::obj()
+                    .push("freqs", float_array(ac.frequencies()))
+                    .push("nodes", traces))
+            }
+            Self::Transient {
+                circuit,
+                tstep,
+                tstop,
+                nodes,
+            } => {
+                let tran = circuit
+                    .transient(*tstep, *tstop)
+                    .map_err(|e| JobError::from_spice(&e))?;
+                let mut traces = Json::obj();
+                for node in nodes {
+                    let vs = tran.voltages(node).map_err(|e| JobError::from_spice(&e))?;
+                    traces = traces.push(node, float_array(vs));
+                }
+                Ok(Json::obj()
+                    .push("times", float_array(tran.times()))
+                    .push("nodes", traces))
+            }
+            Self::Fig2 => figure_result(carbon_core::jobs::fig2_report()),
+            Self::Fig5 => figure_result(carbon_core::jobs::fig5_report()),
+            Self::Fig7 => figure_result(carbon_core::jobs::fig7_report()),
+        }
+    }
+}
+
+/// Renders a figure report as `{"name":..., "scalars":{...}}`.
+fn figure_result(
+    report: Result<carbon_core::jobs::JobReport, carbon_core::CoreError>,
+) -> Result<Json, JobError> {
+    let report = report.map_err(|e| JobError::Exec {
+        message: e.to_string(),
+    })?;
+    let mut scalars = Json::obj();
+    for (name, value) in &report.scalars {
+        scalars = scalars.push(name, *value);
+    }
+    Ok(Json::obj()
+        .push("name", report.name)
+        .push("scalars", scalars))
+}
+
+fn float_array(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+/// Required non-empty string field.
+fn str_field(job: &Json, field: &str) -> Result<String, JobError> {
+    match job.get(field).and_then(Json::as_str) {
+        Some(s) if !s.is_empty() => Ok(s.to_owned()),
+        Some(_) => Err(JobError::invalid(format!("job.{field} must be non-empty"))),
+        None => Err(JobError::invalid(format!("job.{field} must be a string"))),
+    }
+}
+
+/// Required finite numeric field. (The JSON parser already rejects
+/// non-finite literals; this guards against missing or ill-typed
+/// fields.)
+fn num_field(job: &Json, field: &str) -> Result<f64, JobError> {
+    job.get(field)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| JobError::invalid(format!("job.{field} must be a finite number")))
+}
+
+/// Required `deck` field, parsed into a circuit up front.
+fn deck_field(job: &Json) -> Result<Circuit, JobError> {
+    let deck = str_field(job, "deck")?;
+    parse_deck(&deck).map_err(|e| JobError::invalid(format!("job.deck: {e}")))
+}
+
+/// Required non-empty `nodes` array of non-empty strings.
+fn nodes_field(job: &Json) -> Result<Vec<String>, JobError> {
+    let items = job
+        .get("nodes")
+        .and_then(Json::as_array)
+        .ok_or_else(|| JobError::invalid("job.nodes must be an array of node names"))?;
+    if items.is_empty() {
+        return Err(JobError::invalid("job.nodes must name at least one node"));
+    }
+    items
+        .iter()
+        .map(|item| match item.as_str() {
+            Some(s) if !s.is_empty() => Ok(s.to_owned()),
+            _ => Err(JobError::invalid(
+                "job.nodes entries must be non-empty strings",
+            )),
+        })
+        .collect()
+}
+
+/// Log-spaced frequency grid: `points_per_decade` points per decade
+/// from `fstart` up to and including `fstop`. Pure function of its
+/// inputs, so every worker materializes the identical grid.
+fn log_grid(fstart: f64, fstop: f64, points_per_decade: u64) -> Vec<f64> {
+    let mut freqs = Vec::new();
+    let ppd = points_per_decade as f64;
+    let mut k = 0u64;
+    loop {
+        let f = fstart * 10f64.powf(k as f64 / ppd);
+        if f >= fstop {
+            freqs.push(fstop);
+            return freqs;
+        }
+        freqs.push(f);
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RC_DECK: &str = "* rc low-pass\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n.end\n";
+
+    fn job(kind_body: &str) -> Json {
+        Json::parse(kind_body).expect("test job parses")
+    }
+
+    #[test]
+    fn unknown_kind_lists_valid_choices() {
+        let err = Job::from_json(&job("{\"kind\":\"bogus\"}")).unwrap_err();
+        let JobError::Invalid { reason } = &err else {
+            panic!("expected Invalid, got {err:?}");
+        };
+        assert!(reason.contains("bogus"), "{reason}");
+        for kind in JOB_KINDS {
+            assert!(reason.contains(kind), "missing {kind} in {reason}");
+        }
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let cases = [
+            ("{\"kind\":\"op\",\"nodes\":[\"out\"]}", "job.deck"),
+            ("{\"kind\":\"op\",\"deck\":\"V1 a 0 1\"}", "job.nodes"),
+            (
+                "{\"kind\":\"op\",\"deck\":\"V1 a 0 1\",\"nodes\":[]}",
+                "job.nodes",
+            ),
+            (
+                "{\"kind\":\"dc_sweep\",\"deck\":\"V1 a 0 1\",\"source\":\"V1\",\
+                 \"from\":0,\"to\":1,\"step\":-0.1,\"nodes\":[\"a\"]}",
+                "job.step",
+            ),
+            (
+                "{\"kind\":\"ac_sweep\",\"deck\":\"V1 a 0 1\",\"source\":\"V1\",\
+                 \"fstart\":0.0,\"fstop\":10,\"points_per_decade\":10,\"nodes\":[\"a\"]}",
+                "job.fstart",
+            ),
+            (
+                "{\"kind\":\"ac_sweep\",\"deck\":\"V1 a 0 1\",\"source\":\"V1\",\
+                 \"fstart\":100,\"fstop\":10,\"points_per_decade\":10,\"nodes\":[\"a\"]}",
+                "job.fstop",
+            ),
+            (
+                "{\"kind\":\"transient\",\"deck\":\"V1 a 0 1\",\"tstep\":2.0,\
+                 \"tstop\":1.0,\"nodes\":[\"a\"]}",
+                "job.tstep",
+            ),
+            (
+                "{\"kind\":\"transient\",\"deck\":\"V1 a 0 1\",\"tstep\":0.0,\
+                 \"tstop\":1.0,\"nodes\":[\"a\"]}",
+                "job.tstep",
+            ),
+        ];
+        for (body, expected_field) in cases {
+            let err = Job::from_json(&job(body)).unwrap_err();
+            let JobError::Invalid { reason } = &err else {
+                panic!("expected Invalid for {body}, got {err:?}");
+            };
+            assert!(
+                reason.contains(expected_field),
+                "expected '{expected_field}' in '{reason}' for {body}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_deck_is_rejected_at_validation() {
+        let body = Json::obj()
+            .push("kind", "op")
+            .push("deck", "R1 in out not_a_number")
+            .push("nodes", Json::Arr(vec![Json::Str("out".into())]));
+        let err = Job::from_json(&body).unwrap_err();
+        assert!(
+            matches!(&err, JobError::Invalid { reason } if reason.contains("job.deck")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn op_job_runs_and_renders_deterministically() {
+        let body = Json::obj().push("kind", "op").push("deck", RC_DECK).push(
+            "nodes",
+            Json::Arr(vec![Json::Str("in".into()), Json::Str("out".into())]),
+        );
+        let parsed = Job::from_json(&body).unwrap();
+        assert_eq!(parsed.kind(), "op");
+        let a = parsed.run().unwrap().render();
+        let b = Job::from_json(&body).unwrap().run().unwrap().render();
+        assert_eq!(a, b, "same job renders byte-identically");
+        let tree = Json::parse(&a).unwrap();
+        let out = tree
+            .get("nodes")
+            .and_then(|n| n.get("out"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((out - 1.0).abs() < 1e-9, "dc: capacitor open, out = in");
+    }
+
+    #[test]
+    fn dc_sweep_job_reports_probed_traces() {
+        let body = Json::obj()
+            .push("kind", "dc_sweep")
+            .push("deck", RC_DECK)
+            .push("source", "V1")
+            .push("from", 0.0)
+            .push("to", 1.0)
+            .push("step", 0.25)
+            .push("nodes", Json::Arr(vec![Json::Str("out".into())]));
+        let result = Job::from_json(&body).unwrap().run().unwrap();
+        let sweep = result.get("sweep").and_then(Json::as_array).unwrap();
+        assert_eq!(sweep.len(), 5);
+        let trace = result
+            .get("nodes")
+            .and_then(|n| n.get("out"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(trace.len(), 5);
+    }
+
+    #[test]
+    fn unknown_probe_node_is_an_exec_error() {
+        let body = Json::obj()
+            .push("kind", "op")
+            .push("deck", RC_DECK)
+            .push("nodes", Json::Arr(vec![Json::Str("nope".into())]));
+        let err = Job::from_json(&body).unwrap().run().unwrap_err();
+        assert!(
+            matches!(&err, JobError::Exec { message } if message.contains("nope")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn log_grid_is_inclusive_and_monotonic() {
+        let g = log_grid(1.0, 1000.0, 10);
+        assert_eq!(g.len(), 31);
+        assert_eq!(g[0], 1.0);
+        assert_eq!(*g.last().unwrap(), 1000.0);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(log_grid(5.0, 5.0, 10), vec![5.0]);
+    }
+
+    #[test]
+    fn cancelled_solve_maps_to_timeout_variant() {
+        let body = Json::obj()
+            .push("kind", "transient")
+            .push("deck", RC_DECK)
+            .push("tstep", 1e-6)
+            .push("tstop", 1e-2)
+            .push("nodes", Json::Arr(vec![Json::Str("out".into())]));
+        let parsed = Job::from_json(&body).unwrap();
+        let token = carbon_runtime::CancelToken::new();
+        token.cancel();
+        let err = carbon_runtime::cancel::scope(&token, || parsed.run()).unwrap_err();
+        assert!(matches!(err, JobError::Cancelled { .. }), "{err:?}");
+    }
+}

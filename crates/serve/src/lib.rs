@@ -1,0 +1,35 @@
+//! carbon-serve: the simulator exposed as a TCP job service.
+//!
+//! Zero registry dependencies — the wire format is length-prefixed JSON
+//! (4-byte big-endian frame length, then a UTF-8 JSON body) built on the
+//! shared [`carbon_json`] module, and all concurrency is std threads plus
+//! the deterministic carbon-runtime executor.
+//!
+//! The crate is organised as:
+//!
+//! - [`protocol`] — frame reader/writer and the request/response envelope;
+//! - [`job`] — the job model (`op`, `dc_sweep`, `ac_sweep`, `transient`,
+//!   `fig2`, `fig5`, `fig7`) with up-front validation and deterministic
+//!   result rendering;
+//! - [`queue`] — bounded MPMC job queue with admission control;
+//! - [`server`] — acceptor + worker pool with graceful drain shutdown;
+//! - [`client`] — a minimal blocking client used by tests and the
+//!   `carbon-bench serve-load` load generator.
+//!
+//! # Determinism at the service boundary
+//!
+//! For a given request body, the response body is byte-identical
+//! regardless of worker count, connection count, or arrival order: jobs
+//! run on the deterministic executor, responses carry no timestamps, and
+//! floats are rendered with Rust's shortest-round-trip formatter.
+
+pub mod client;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::Client;
+pub use job::{Job, JobError};
+pub use protocol::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,146 @@
+//! Bounded MPMC job queue with admission control.
+//!
+//! A `Mutex<VecDeque>` plus one `Condvar` — deliberately boring. The
+//! interesting property is the *backpressure contract*:
+//!
+//! * producers never block: [`Bounded::try_push`] either admits the
+//!   item or returns it immediately, so a connection thread can answer
+//!   `busy` without ever waiting on queue space;
+//! * consumers block on [`Bounded::pop`] until an item arrives or the
+//!   queue is closed **and drained** — closing stops admissions at once
+//!   but lets workers finish everything already accepted, which is what
+//!   graceful shutdown means.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue admitting at most `capacity` items (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (racy by nature; informational).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Attempts to admit an item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is full or closed, so the
+    /// caller can turn it into a `busy` response.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available; `None` once the queue is
+    /// closed **and** empty (the drain is complete).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Stops admissions. Items already accepted remain poppable;
+    /// blocked consumers wake to drain them and then observe the close.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_rejects_when_full_and_returns_the_item() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3), "full queue bounces the item");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2), "space freed by pop re-admits");
+    }
+
+    #[test]
+    fn close_drains_before_ending() {
+        let q = Bounded::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err("c"), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "drained and closed");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(7).unwrap();
+        q.close();
+        let got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|v| v.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|v| v.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = Bounded::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let drained: Vec<_> = (0..10).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+    }
+}

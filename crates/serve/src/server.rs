@@ -1,0 +1,533 @@
+//! The job server: acceptor, connection threads, and a deterministic
+//! worker pool over the bounded queue.
+//!
+//! # Threading model
+//!
+//! One acceptor thread owns the listener; each accepted connection gets
+//! a thread that reads frames *sequentially* — a connection has at most
+//! one request in flight, so per-connection response order is trivially
+//! the request order, and concurrency comes from the number of
+//! connections. Jobs are handed to a fixed pool of worker threads
+//! through the bounded queue; the pool is sized like the carbon-runtime
+//! executor (`CARBON_THREADS` or the machine's parallelism) so service
+//! workers and the executor's own fan-out (inside `fig7`-style jobs)
+//! follow one configuration.
+//!
+//! # Determinism
+//!
+//! Workers never contribute timing or identity to a response body:
+//! results come from deterministic analyses, floats render via the
+//! shortest-round-trip formatter, and object fields keep a fixed
+//! insertion order. The same request body therefore yields the same
+//! response bytes at any worker count, connection count, or arrival
+//! order. (`busy` responses are the one exception — admission is
+//! inherently load-dependent — and carry that dependence only in the
+//! reported queue depth.)
+//!
+//! # Backpressure and deadlines
+//!
+//! Admission control is [`crate::queue::Bounded::try_push`]: a full
+//! queue answers `busy` immediately instead of stalling the connection.
+//! Each admitted job runs under a [`CancelToken`] scope whose deadline
+//! is the request's `timeout_ms` (or the server default); solver
+//! checkpoints inside carbon-spice turn an expired deadline into a
+//! `timeout` response between Newton iterations or sweep points.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] is a graceful drain: stop accepting, let
+//! connection threads finish their in-flight request, close the queue,
+//! and join the workers — every admitted job is answered before the
+//! pool exits.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use carbon_json::Json;
+use carbon_runtime::CancelToken;
+
+use crate::job::{Job, JobError};
+use crate::protocol::{write_frame, FrameError, MAX_FRAME_LEN};
+use crate::queue::Bounded;
+
+/// How long a blocked socket read waits before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs. Defaults to the carbon-runtime
+    /// executor's thread count (`CARBON_THREADS` or machine
+    /// parallelism).
+    pub workers: usize,
+    /// Bounded-queue depth: jobs admitted but not yet running. Requests
+    /// arriving beyond this get `busy` responses.
+    pub queue_depth: usize,
+    /// Deadline applied to jobs whose request carries no `timeout_ms`.
+    /// `None` means no default deadline.
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: carbon_runtime::Executor::new().threads(),
+            queue_depth: 64,
+            default_timeout_ms: None,
+        }
+    }
+}
+
+/// Monotonic counters describing a server's lifetime so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Jobs admitted to the queue.
+    pub accepted: u64,
+    /// Requests bounced with a `busy` response.
+    pub rejected_busy: u64,
+    /// Jobs that hit their deadline and answered `timeout`.
+    pub timed_out: u64,
+    /// Jobs that ran to a successful `ok` response.
+    pub completed: u64,
+    /// Jobs that failed in validation or execution (`error` responses).
+    pub errored: u64,
+    /// Frames that were not valid request envelopes.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    timed_out: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errored: self.errored.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An admitted job travelling from a connection thread to a worker.
+struct Ticket {
+    /// The request's `id`, echoed verbatim into the response.
+    id: Json,
+    job: Job,
+    timeout_ms: Option<u64>,
+    enqueued: Instant,
+    /// Rendezvous back to the connection thread. Capacity 1, so the
+    /// worker's send never blocks even if the connection died.
+    resp: SyncSender<Vec<u8>>,
+}
+
+/// A running job server. Dropping it performs the graceful drain.
+pub struct Server {
+    addr: SocketAddr,
+    queue: Arc<Bounded<Ticket>>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let queue = Arc::new(Bounded::new(config.queue_depth));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || worker_loop(&queue, &counters))
+            })
+            .collect();
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let default_timeout_ms = config.default_timeout_ms;
+            std::thread::spawn(move || {
+                accept_loop(&listener, &queue, &shutdown, &counters, default_timeout_ms);
+            })
+        };
+
+        Ok(Self {
+            addr,
+            queue,
+            shutdown,
+            counters,
+            acceptor: Some(acceptor),
+            workers,
+            config,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.counters.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests,
+    /// run every admitted job, join all threads. Returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.drain();
+        self.counters.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Only after every connection thread has stopped producing may
+        // the queue close; workers then drain what was admitted.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &Arc<Bounded<Ticket>>,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<Counters>,
+    default_timeout_ms: Option<u64>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Responses are single small frames; Nagle + delayed
+                // ACK would add ~40 ms to every request.
+                let _ = stream.set_nodelay(true);
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let queue = Arc::clone(queue);
+                let shutdown = Arc::clone(shutdown);
+                let counters = Arc::clone(counters);
+                connections.push(std::thread::spawn(move || {
+                    connection_loop(stream, &queue, &shutdown, &counters, default_timeout_ms);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        // Reap finished connection threads so a long-lived server does
+        // not accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for h in connections {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(
+    mut stream: TcpStream,
+    queue: &Bounded<Ticket>,
+    shutdown: &AtomicBool,
+    counters: &Counters,
+    default_timeout_ms: Option<u64>,
+) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    loop {
+        let body = match read_frame_interruptible(&mut stream, shutdown) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match parse_envelope(&body, default_timeout_ms) {
+            Ok((id, job, timeout_ms)) => dispatch(id, job, timeout_ms, queue, counters),
+            Err(resp) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                resp
+            }
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Validates one request envelope into `(id, job, timeout_ms)`;
+/// failures come back as ready-to-send response bytes.
+fn parse_envelope(
+    body: &[u8],
+    default_timeout_ms: Option<u64>,
+) -> Result<(Json, Job, Option<u64>), Vec<u8>> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| error_response(&Json::Null, "parse", "request is not UTF-8"))?;
+    let envelope =
+        Json::parse(text).map_err(|e| error_response(&Json::Null, "parse", &e.to_string()))?;
+    let id = envelope
+        .get("id")
+        .cloned()
+        .ok_or_else(|| error_response(&Json::Null, "validate", "request.id is required"))?;
+    if matches!(id, Json::Arr(_) | Json::Obj(_)) {
+        return Err(error_response(
+            &Json::Null,
+            "validate",
+            "request.id must be a scalar",
+        ));
+    }
+    let timeout_ms = match envelope.get("timeout_ms") {
+        None | Some(Json::Null) => default_timeout_ms,
+        Some(v) => match v.as_u64() {
+            Some(ms) if ms > 0 => Some(ms),
+            _ => {
+                return Err(error_response(
+                    &id,
+                    "validate",
+                    "request.timeout_ms must be a positive integer",
+                ))
+            }
+        },
+    };
+    let job_field = envelope
+        .get("job")
+        .ok_or_else(|| error_response(&id, "validate", "request.job is required"))?;
+    let job = Job::from_json(job_field).map_err(|e| match e {
+        JobError::Invalid { reason } => error_response(&id, "validate", &reason),
+        other => error_response(&id, "validate", &other.to_string()),
+    })?;
+    Ok((id, job, timeout_ms))
+}
+
+/// Admits the job (or answers `busy`) and waits for the worker's
+/// response.
+fn dispatch(
+    id: Json,
+    job: Job,
+    timeout_ms: Option<u64>,
+    queue: &Bounded<Ticket>,
+    counters: &Counters,
+) -> Vec<u8> {
+    let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel(1);
+    let ticket = Ticket {
+        id: id.clone(),
+        job,
+        timeout_ms,
+        enqueued: Instant::now(),
+        resp: resp_tx,
+    };
+    match queue.try_push(ticket) {
+        Ok(depth) => {
+            counters.accepted.fetch_add(1, Ordering::Relaxed);
+            carbon_trace::counter!("serve.accepted");
+            carbon_trace::instant!("serve.queue_depth", "depth" = depth);
+            resp_rx.recv().unwrap_or_else(|_| {
+                error_response(&id, "exec", "worker dropped the job (server shutting down)")
+            })
+        }
+        Err(_rejected) => {
+            counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            carbon_trace::counter!("serve.rejected_busy");
+            busy_response(&id, queue.depth(), queue.capacity())
+        }
+    }
+}
+
+fn worker_loop(queue: &Bounded<Ticket>, counters: &Counters) {
+    while let Some(ticket) = queue.pop() {
+        let queue_ns = u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let kind = ticket.job.kind();
+        let mut span = carbon_trace::span!("serve.request");
+        if span.is_live() {
+            span.record("kind", kind);
+            span.record("queue_ns", queue_ns);
+        }
+        let token = match ticket.timeout_ms {
+            Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let outcome = carbon_runtime::cancel::scope(&token, || ticket.job.run());
+        let (status, response) = match outcome {
+            Ok(result) => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+                ("ok", ok_response(&ticket.id, kind, &result))
+            }
+            Err(JobError::Cancelled { message }) => {
+                counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                carbon_trace::counter!("serve.timed_out");
+                ("timeout", timeout_response(&ticket.id, kind, &message))
+            }
+            Err(e) => {
+                counters.errored.fetch_add(1, Ordering::Relaxed);
+                ("error", error_response(&ticket.id, "exec", &e.to_string()))
+            }
+        };
+        if span.is_live() {
+            span.record("status", status);
+            span.record("resp_bytes", response.len());
+        }
+        drop(span);
+        // The connection may have vanished; the response is then simply
+        // dropped (capacity-1 channel: never blocks).
+        let _ = ticket.resp.send(response);
+    }
+}
+
+fn ok_response(id: &Json, kind: &str, result: &Json) -> Vec<u8> {
+    Json::obj()
+        .push("id", id.clone())
+        .push("status", "ok")
+        .push("kind", kind)
+        .push("result", result.clone())
+        .render()
+        .into_bytes()
+}
+
+fn error_response(id: &Json, stage: &str, message: &str) -> Vec<u8> {
+    Json::obj()
+        .push("id", id.clone())
+        .push("status", "error")
+        .push("stage", stage)
+        .push("message", message)
+        .render()
+        .into_bytes()
+}
+
+fn timeout_response(id: &Json, kind: &str, message: &str) -> Vec<u8> {
+    Json::obj()
+        .push("id", id.clone())
+        .push("status", "timeout")
+        .push("kind", kind)
+        .push("message", message)
+        .render()
+        .into_bytes()
+}
+
+fn busy_response(id: &Json, depth: usize, capacity: usize) -> Vec<u8> {
+    Json::obj()
+        .push("id", id.clone())
+        .push("status", "busy")
+        .push("queue_depth", depth)
+        .push("queue_capacity", capacity)
+        .push("message", "queue full, retry later")
+        .render()
+        .into_bytes()
+}
+
+/// Like [`crate::protocol::read_frame`], but built for a socket with a
+/// short read timeout: between frames a timeout re-checks the shutdown
+/// flag (and abandons the connection once it is set); inside a frame
+/// the read keeps waiting unless the server is shutting down.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                )
+                .into())
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    if filled == 0 {
+                        return Ok(None); // clean: between frames
+                    }
+                    return Err(e.into()); // drain cut a partial frame
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge { declared });
+    }
+    let mut body = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                )
+                .into())
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(e.into());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(body))
+}

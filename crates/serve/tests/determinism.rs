@@ -1,0 +1,143 @@
+//! Determinism at the service boundary (the PR's acceptance bar): the
+//! same job set produces byte-identical response bodies per job id
+//! regardless of `CARBON_THREADS`, server worker count, connection
+//! count, or arrival order.
+//!
+//! Kept as its own integration-test binary with a single `#[test]` so
+//! the `CARBON_THREADS` environment variable is never mutated
+//! concurrently with another test.
+
+use std::collections::BTreeMap;
+
+use carbon_json::Json;
+use carbon_serve::{Client, Server, ServerConfig};
+
+const RC_DECK: &str = "* rc low-pass\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n.end\n";
+const DIVIDER_DECK: &str =
+    "* loaded divider\nV1 top 0 2\nR1 top mid 2k\nR2 mid 0 2k\nC1 mid 0 10n\n.end\n";
+
+fn nodes(names: &[&str]) -> Json {
+    Json::Arr(names.iter().map(|n| Json::Str((*n).to_owned())).collect())
+}
+
+/// The mixed job set, ids `0..n`. Every kind that can complete quickly
+/// is represented, over two different decks.
+fn job_set() -> Vec<String> {
+    let jobs = vec![
+        Json::obj()
+            .push("kind", "op")
+            .push("deck", RC_DECK)
+            .push("nodes", nodes(&["in", "out"])),
+        Json::obj()
+            .push("kind", "op")
+            .push("deck", DIVIDER_DECK)
+            .push("nodes", nodes(&["mid"])),
+        Json::obj()
+            .push("kind", "dc_sweep")
+            .push("deck", DIVIDER_DECK)
+            .push("source", "V1")
+            .push("from", 0.0)
+            .push("to", 2.0)
+            .push("step", 0.1)
+            .push("nodes", nodes(&["mid", "top"])),
+        Json::obj()
+            .push("kind", "ac_sweep")
+            .push("deck", RC_DECK)
+            .push("source", "V1")
+            .push("fstart", 1.0)
+            .push("fstop", 1e6)
+            .push("points_per_decade", 7)
+            .push("nodes", nodes(&["out"])),
+        Json::obj()
+            .push("kind", "transient")
+            .push("deck", RC_DECK)
+            .push("tstep", 2e-5)
+            .push("tstop", 4e-3)
+            .push("nodes", nodes(&["out"])),
+        Json::obj().push("kind", "fig7"),
+    ];
+    jobs.into_iter()
+        .enumerate()
+        .map(|(id, job)| Json::obj().push("id", id).push("job", job).render())
+        .collect()
+}
+
+/// Runs the whole job set against one server over `connections`
+/// parallel connections (round-robin assignment) and returns the raw
+/// response bytes keyed by job id.
+fn run_set(addr: std::net::SocketAddr, connections: usize) -> BTreeMap<u64, Vec<u8>> {
+    let requests = job_set();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let mine: Vec<&String> = requests.iter().skip(c).step_by(connections).collect();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    mine.into_iter()
+                        .map(|body| {
+                            let raw = client.call_raw(body.as_bytes()).expect("response");
+                            let id = carbon_json::u64_field(
+                                std::str::from_utf8(&raw).expect("utf-8 response"),
+                                "id",
+                            )
+                            .expect("response carries the job id");
+                            (id, raw)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+}
+
+#[test]
+fn responses_are_byte_identical_across_threads_workers_and_connections() {
+    let mut reference: Option<BTreeMap<u64, Vec<u8>>> = None;
+    for threads in ["1", "2", "4", "8"] {
+        std::env::set_var("CARBON_THREADS", threads);
+        for (workers, connections) in [(1, 1), (4, 1), (1, 4), (4, 4)] {
+            let server = Server::start(
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers,
+                    queue_depth: 64,
+                    default_timeout_ms: None,
+                },
+            )
+            .expect("bind loopback");
+            let got = run_set(server.local_addr(), connections);
+            let stats = server.shutdown();
+            assert_eq!(stats.protocol_errors, 0);
+            assert_eq!(
+                got.len(),
+                job_set().len(),
+                "every job answered exactly once"
+            );
+            for (id, body) in &got {
+                let text = std::str::from_utf8(body).unwrap();
+                assert!(
+                    text.contains("\"status\":\"ok\""),
+                    "job {id} not ok under CARBON_THREADS={threads} \
+                     workers={workers} connections={connections}: {text}"
+                );
+            }
+            match &reference {
+                None => reference = Some(got),
+                Some(reference) => {
+                    for (id, body) in &got {
+                        assert_eq!(
+                            body, &reference[id],
+                            "job {id} response drifted under CARBON_THREADS={threads} \
+                             workers={workers} connections={connections}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    std::env::remove_var("CARBON_THREADS");
+}

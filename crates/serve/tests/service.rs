@@ -1,0 +1,307 @@
+//! End-to-end service tests: protocol round trips, validation at the
+//! boundary, backpressure, deadlines, and graceful drain.
+
+use carbon_json::Json;
+use carbon_serve::{Client, Server, ServerConfig};
+
+const RC_DECK: &str = "* rc low-pass\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n.end\n";
+
+fn start(workers: usize, queue_depth: usize) -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_depth,
+            default_timeout_ms: None,
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn nodes(names: &[&str]) -> Json {
+    Json::Arr(names.iter().map(|n| Json::Str((*n).to_owned())).collect())
+}
+
+#[test]
+fn round_trips_every_job_kind() {
+    let server = start(2, 16);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let requests = [
+        Json::obj().push("id", 1).push(
+            "job",
+            Json::obj()
+                .push("kind", "op")
+                .push("deck", RC_DECK)
+                .push("nodes", nodes(&["in", "out"])),
+        ),
+        Json::obj().push("id", 2).push(
+            "job",
+            Json::obj()
+                .push("kind", "dc_sweep")
+                .push("deck", RC_DECK)
+                .push("source", "V1")
+                .push("from", 0.0)
+                .push("to", 1.0)
+                .push("step", 0.5)
+                .push("nodes", nodes(&["out"])),
+        ),
+        Json::obj().push("id", 3).push(
+            "job",
+            Json::obj()
+                .push("kind", "ac_sweep")
+                .push("deck", RC_DECK)
+                .push("source", "V1")
+                .push("fstart", 1.0)
+                .push("fstop", 1e4)
+                .push("points_per_decade", 5)
+                .push("nodes", nodes(&["out"])),
+        ),
+        Json::obj().push("id", 4).push(
+            "job",
+            Json::obj()
+                .push("kind", "transient")
+                .push("deck", RC_DECK)
+                .push("tstep", 1e-5)
+                .push("tstop", 1e-3)
+                .push("nodes", nodes(&["out"])),
+        ),
+        Json::obj()
+            .push("id", 5)
+            .push("job", Json::obj().push("kind", "fig7")),
+    ];
+    for request in &requests {
+        let response = client.call(request).unwrap();
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "request {} -> {}",
+            request.render(),
+            response.render()
+        );
+        assert_eq!(response.get("id"), request.get("id"), "id echoed");
+        assert!(response.get("result").is_some());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, requests.len() as u64);
+    assert_eq!(stats.completed, requests.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn ac_response_shows_the_rc_corner() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // f_c = 1/(2π·RC) ≈ 159 Hz for 1k · 1µ: magnitude at 1 Hz ≈ 1,
+    // at 100 kHz ≈ 0.
+    let response = client
+        .call(
+            &Json::obj().push("id", "ac").push(
+                "job",
+                Json::obj()
+                    .push("kind", "ac_sweep")
+                    .push("deck", RC_DECK)
+                    .push("source", "V1")
+                    .push("fstart", 1.0)
+                    .push("fstop", 1e5)
+                    .push("points_per_decade", 4)
+                    .push("nodes", nodes(&["out"])),
+            ),
+        )
+        .unwrap();
+    assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    let mags = response
+        .get("result")
+        .and_then(|r| r.get("nodes"))
+        .and_then(|n| n.get("out"))
+        .and_then(|o| o.get("magnitude"))
+        .and_then(Json::as_array)
+        .unwrap();
+    let first = mags.first().and_then(Json::as_f64).unwrap();
+    let last = mags.last().and_then(Json::as_f64).unwrap();
+    assert!(first > 0.99, "passband magnitude {first}");
+    assert!(last < 0.01, "stopband magnitude {last}");
+}
+
+#[test]
+fn invalid_requests_get_structured_errors_and_the_connection_survives() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Not JSON at all.
+    let resp = client.call_raw(b"hello, world").unwrap();
+    let parsed = Json::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(parsed.get("stage").and_then(Json::as_str), Some("parse"));
+
+    // Valid JSON, missing id.
+    let resp = client
+        .call(&Json::obj().push("job", Json::obj().push("kind", "fig7")))
+        .unwrap();
+    assert_eq!(resp.get("stage").and_then(Json::as_str), Some("validate"));
+
+    // Unknown kind: the message lists the valid choices.
+    let resp = client
+        .call(
+            &Json::obj()
+                .push("id", 9)
+                .push("job", Json::obj().push("kind", "warp_drive")),
+        )
+        .unwrap();
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+    let message = resp.get("message").and_then(Json::as_str).unwrap();
+    assert!(message.contains("warp_drive"), "{message}");
+    assert!(message.contains("dc_sweep"), "{message}");
+
+    // Bad field value, field named.
+    let resp = client
+        .call(
+            &Json::obj().push("id", 10).push(
+                "job",
+                Json::obj()
+                    .push("kind", "transient")
+                    .push("deck", RC_DECK)
+                    .push("tstep", 2.0)
+                    .push("tstop", 1.0)
+                    .push("nodes", nodes(&["out"])),
+            ),
+        )
+        .unwrap();
+    let message = resp.get("message").and_then(Json::as_str).unwrap();
+    assert!(message.contains("job.tstep"), "{message}");
+
+    // The connection still works after every rejection.
+    let resp = client
+        .call(
+            &Json::obj()
+                .push("id", 11)
+                .push("job", Json::obj().push("kind", "fig7")),
+        )
+        .unwrap();
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 1, "only the final good job was admitted");
+    assert!(stats.protocol_errors >= 3);
+}
+
+#[test]
+fn deadline_produces_a_timeout_response() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // ~10^6 transient steps would take seconds; the 5 ms deadline fires
+    // at a per-step checkpoint long before that.
+    let response = client
+        .call(
+            &Json::obj().push("id", "slow").push("timeout_ms", 5).push(
+                "job",
+                Json::obj()
+                    .push("kind", "transient")
+                    .push("deck", RC_DECK)
+                    .push("tstep", 1e-9)
+                    .push("tstop", 1e-3)
+                    .push("nodes", nodes(&["out"])),
+            ),
+        )
+        .unwrap();
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("timeout"),
+        "{}",
+        response.render()
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.timed_out, 1);
+}
+
+#[test]
+fn full_queue_answers_busy_without_blocking() {
+    // One worker, depth 1: a slow job occupies the worker, one more
+    // waits in the queue, and every further concurrent request must be
+    // bounced with `busy`.
+    let server = start(1, 1);
+    let addr = server.local_addr();
+    let slow_request = Json::obj()
+        .push("id", "slow")
+        .push(
+            "job",
+            Json::obj()
+                .push("kind", "transient")
+                .push("deck", RC_DECK)
+                .push("tstep", 1e-8)
+                .push("tstop", 2e-3)
+                .push("nodes", nodes(&["out"])),
+        )
+        .render();
+    let statuses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let body = slow_request.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let resp = client
+                        .call(&Json::parse(&body).unwrap())
+                        .expect("every request gets a response");
+                    resp.get("status")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_owned()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let busy = statuses.iter().filter(|s| *s == "busy").count();
+    let ok = statuses.iter().filter(|s| *s == "ok").count();
+    assert!(
+        busy >= 1,
+        "expected at least one busy response: {statuses:?}"
+    );
+    assert!(ok >= 1, "expected at least one completion: {statuses:?}");
+    assert_eq!(busy + ok, statuses.len(), "no other statuses: {statuses:?}");
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_busy, busy as u64);
+    assert_eq!(stats.accepted, ok as u64);
+}
+
+#[test]
+fn graceful_drain_answers_every_admitted_job() {
+    let server = start(2, 32);
+    let addr = server.local_addr();
+    let responses: Vec<Json> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    (0..5)
+                        .map(|i| {
+                            client
+                                .call(
+                                    &Json::obj().push("id", conn * 100 + i).push(
+                                        "job",
+                                        Json::obj()
+                                            .push("kind", "op")
+                                            .push("deck", RC_DECK)
+                                            .push("nodes", nodes(&["out"])),
+                                    ),
+                                )
+                                .unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    assert_eq!(responses.len(), 20);
+    assert!(responses
+        .iter()
+        .all(|r| r.get("status").and_then(Json::as_str) == Some("ok")));
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 20);
+    assert_eq!(stats.completed, 20);
+    assert_eq!(stats.connections, 4);
+    assert_eq!(stats.protocol_errors, 0);
+}

@@ -375,6 +375,11 @@ fn dense_sweep_points(
     let n_unknowns = circuit.num_unknowns();
     let mut solutions = Vec::with_capacity(freqs.len());
     for &f in freqs {
+        if carbon_runtime::cancel::cancelled() {
+            return Err(SpiceError::Cancelled {
+                analysis: "ac sweep",
+            });
+        }
         let omega = 2.0 * std::f64::consts::PI * f;
         let mut a = ComplexMatrix::zeros(n_unknowns);
         let mut b = vec![Complex::ZERO; n_unknowns];
@@ -435,6 +440,11 @@ fn sparse_sweep_points(
     let static_vals = ws.a.values().to_vec();
     let mut solutions = Vec::with_capacity(freqs.len());
     for (k, &f) in freqs.iter().enumerate() {
+        if carbon_runtime::cancel::cancelled() {
+            return Err(SpiceError::Cancelled {
+                analysis: "ac sweep",
+            });
+        }
         let omega = 2.0 * std::f64::consts::PI * f;
         ws.a.set_values(&static_vals);
         for &(r, c, coeff) in &dynamic {

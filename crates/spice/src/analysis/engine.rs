@@ -463,6 +463,24 @@ pub(crate) fn newton_solve(
     let init_junctions = x.iter().all(|&v| v == 0.0);
 
     for iter in 0..opts.max_iter {
+        // Cooperative-cancellation checkpoint: a serve job whose
+        // deadline passed stops between Newton iterations, never
+        // mid-factorization. Costs one thread-local read when no token
+        // is installed.
+        if carbon_runtime::cancel::cancelled() {
+            if solve_span.is_live() {
+                solve_span.record("iters", iter);
+                solve_span.record("converged", false);
+                solve_span.record("cancelled", true);
+            }
+            return Err(SpiceError::Cancelled {
+                analysis: if time.is_some() {
+                    "transient newton solve"
+                } else {
+                    "dc newton solve"
+                },
+            });
+        }
         let z = &mut ws.z;
         let x_new = &mut ws.x_new;
         let junction_v = &mut ws.junction_v;

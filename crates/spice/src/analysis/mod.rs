@@ -343,7 +343,9 @@ impl Circuit {
         self.set_source_value(source, v_to)?;
         match self.op_from(x, ws) {
             Ok(iters) => Ok(iters),
-            Err(e @ SpiceError::SingularMatrix { .. }) => Err(e),
+            // Structural failures and cancellations are not convergence
+            // problems: halving the source step cannot fix them.
+            Err(e @ (SpiceError::SingularMatrix { .. } | SpiceError::Cancelled { .. })) => Err(e),
             Err(e) if depth == 0 => {
                 // Continuation exhausted: surface the failing sweep
                 // value and the last Newton residual instead of the
@@ -600,14 +602,27 @@ impl Circuit {
     /// Returns [`SpiceError::InvalidSweep`] for non-positive steps or
     /// horizons and solver errors from individual time points.
     pub fn transient(&self, tstep: f64, tstop: f64) -> Result<TranResult, SpiceError> {
-        if !(tstep.is_finite() && tstep > 0.0 && tstop.is_finite() && tstop > 0.0) {
-            return Err(SpiceError::InvalidSweep {
-                reason: format!("transient needs tstep > 0 and tstop > 0, got {tstep}, {tstop}"),
-            });
+        // Field-by-field validation, matching the AC sweep's style: the
+        // offending parameter is named so a bad caller-side formula is a
+        // one-glance fix.
+        for (field, value) in [("tstep", tstep), ("tstop", tstop)] {
+            if !value.is_finite() {
+                return Err(SpiceError::InvalidSweep {
+                    reason: format!("transient {field} = {value} must be finite"),
+                });
+            }
+            if value <= 0.0 {
+                return Err(SpiceError::InvalidSweep {
+                    reason: format!("transient {field} = {value} must be positive"),
+                });
+            }
         }
-        if tstop < tstep {
+        if tstep > tstop {
             return Err(SpiceError::InvalidSweep {
-                reason: "tstop must be at least one step".to_owned(),
+                reason: format!(
+                    "transient tstep = {tstep} exceeds tstop = {tstop}: the horizon must cover \
+                     at least one step"
+                ),
             });
         }
         let opts = NewtonOptions::default();
@@ -654,6 +669,14 @@ impl Circuit {
         samples.push(x.clone());
 
         for k in 1..=steps {
+            // Checkpoint between time steps: a deadline that expires
+            // mid-transient stops before the next integration step (the
+            // Newton loop below has its own per-iteration checkpoint).
+            if carbon_runtime::cancel::cancelled() {
+                return Err(SpiceError::Cancelled {
+                    analysis: "transient",
+                });
+            }
             let t = k as f64 * tstep;
             let trapezoidal = k > 1;
             for cap in &mut caps {
@@ -693,7 +716,7 @@ impl Circuit {
                     &damped,
                 )
                 .map_err(|e| match e {
-                    SpiceError::SingularMatrix { .. } => e,
+                    SpiceError::SingularMatrix { .. } | SpiceError::Cancelled { .. } => e,
                     _ => SpiceError::NonConvergence {
                         analysis: "transient",
                         iterations: damped.max_iter,

@@ -75,6 +75,14 @@ pub enum SpiceError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The analysis observed a cooperative-cancellation request (an
+    /// explicit cancel or an expired deadline on the installed
+    /// [`carbon_runtime::cancel::CancelToken`]) at one of its
+    /// checkpoints and stopped early. The partial state is discarded.
+    Cancelled {
+        /// Which analysis was running when the checkpoint fired.
+        analysis: &'static str,
+    },
 }
 
 impl std::fmt::Display for SpiceError {
@@ -126,6 +134,9 @@ impl std::fmt::Display for SpiceError {
                  after {iterations} iterations"
             ),
             Self::InvalidSweep { reason } => write!(f, "invalid sweep: {reason}"),
+            Self::Cancelled { analysis } => {
+                write!(f, "{analysis} cancelled (deadline exceeded or job cancelled)")
+            }
         }
     }
 }

@@ -423,3 +423,69 @@ fn deck_parser_accepts_inductor_cards() {
     let op = ckt.op().unwrap();
     assert!(op.voltage("mid").unwrap().abs() < 1e-6);
 }
+
+#[test]
+fn transient_rejects_bad_horizons_naming_the_field() {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("v", "a", "0", 1.0);
+    ckt.resistor("r", "a", "0", 1e3).unwrap();
+    let cases = [
+        (f64::NAN, 1e-3, "tstep"),
+        (f64::INFINITY, 1e-3, "tstep"),
+        (1e-6, f64::NAN, "tstop"),
+        (1e-6, f64::NEG_INFINITY, "tstop"),
+        (0.0, 1e-3, "tstep"),
+        (-1e-6, 1e-3, "tstep"),
+        (1e-6, 0.0, "tstop"),
+        (1e-6, -1e-3, "tstop"),
+    ];
+    for (tstep, tstop, field) in cases {
+        match ckt.transient(tstep, tstop) {
+            Err(SpiceError::InvalidSweep { reason }) => assert!(
+                reason.contains(field),
+                "transient({tstep}, {tstop}): expected '{field}' in '{reason}'"
+            ),
+            other => panic!("transient({tstep}, {tstop}): expected InvalidSweep, got {other:?}"),
+        }
+    }
+    // A step longer than the horizon is named with both values.
+    match ckt.transient(2e-3, 1e-3) {
+        Err(SpiceError::InvalidSweep { reason }) => {
+            assert!(
+                reason.contains("tstep") && reason.contains("tstop"),
+                "{reason}"
+            );
+        }
+        other => panic!("expected InvalidSweep, got {other:?}"),
+    }
+}
+
+#[test]
+fn pre_cancelled_token_stops_every_analysis() {
+    use carbon_runtime::{cancel, CancelToken};
+
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("v", "in", "0", 1.0);
+    ckt.resistor("r", "in", "out", 1e3).unwrap();
+    ckt.capacitor("c", "out", "0", 1e-9).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    cancel::scope(&token, || {
+        assert!(matches!(ckt.op(), Err(SpiceError::Cancelled { .. })));
+        assert!(matches!(
+            ckt.dc_sweep("v", 0.0, 1.0, 0.1),
+            Err(SpiceError::Cancelled { .. })
+        ));
+        assert!(matches!(
+            ckt.ac_sweep("v", &[1e3, 1e4]),
+            Err(SpiceError::Cancelled { .. })
+        ));
+        assert!(matches!(
+            ckt.transient(1e-7, 1e-5),
+            Err(SpiceError::Cancelled { .. })
+        ));
+    });
+    // Outside the scope the same analyses run to completion.
+    assert!(ckt.op().is_ok());
+    assert!(ckt.transient(1e-7, 1e-6).is_ok());
+}

@@ -14,13 +14,17 @@
 //! The schema is flat and hand-parseable (see `carbon-bench`'s
 //! `trace-summary`, which aggregates these files without a JSON
 //! dependency). Non-finite floats serialize as `null` to keep every
-//! line valid JSON.
+//! line valid JSON. Escaping and float rendering come from the shared
+//! `carbon-json` module, so the exporter, the bench tooling, and the
+//! `carbon-serve` protocol all speak one dialect.
 
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::{Mutex, PoisonError};
+
+use carbon_json::{escape, write_f64};
 
 use crate::{Event, Field, Subscriber, Value};
 
@@ -121,10 +125,7 @@ fn render_value(s: &mut String, v: &Value) {
         Value::I64(v) => {
             let _ = write!(s, "{v}");
         }
-        Value::F64(v) if v.is_finite() => {
-            let _ = write!(s, "{v:?}");
-        }
-        Value::F64(_) => s.push_str("null"),
+        Value::F64(v) => write_f64(s, *v),
         Value::Bool(v) => {
             let _ = write!(s, "{v}");
         }
@@ -132,24 +133,6 @@ fn render_value(s: &mut String, v: &Value) {
             let _ = write!(s, "\"{}\"", escape(v));
         }
     }
-}
-
-/// Escapes a string for a JSON literal.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 impl Subscriber for JsonlWriter {
