@@ -86,6 +86,27 @@ for fig in fig2 fig7; do
     || { echo "$fig convergence counters regressed against benches/baseline/$fig-trace.jsonl"; exit 1; }
 done
 
+# Transient smoke: both stepping methods must produce byte-identical
+# digests (over every time point and voltage bit) at every thread
+# count, traced or not, and the transient span must aggregate through
+# trace-summary. The adaptive row on the stiff ramp deck doubles as the
+# speedup evidence: its step count is ~2 orders below the fixed grid's.
+echo "==> transient smoke: fixed/adaptive digest byte-identity + trace-summary"
+CARBON_THREADS=1 "$bench_bin" tran > "$trace_dir/tran-untraced.txt"
+grep -q 'deck=tran_ramp method=adaptive' "$trace_dir/tran-untraced.txt" \
+  || { echo "tran report missing the adaptive ramp row"; exit 1; }
+for t in 1 2 4 8; do
+  CARBON_THREADS=$t CARBON_TRACE="$trace_dir/tran-$t.jsonl" \
+    "$bench_bin" tran > "$trace_dir/tran-traced-$t.txt"
+  diff "$trace_dir/tran-untraced.txt" "$trace_dir/tran-traced-$t.txt" \
+    || { echo "tran digests changed under CARBON_TRACE (threads=$t)"; exit 1; }
+  [[ -s "$trace_dir/tran-$t.jsonl" ]] \
+    || { echo "no transient trace written at threads=$t"; exit 1; }
+  "$bench_bin" trace-summary "$trace_dir/tran-$t.jsonl" > "$trace_dir/tran-summary-$t.jsonl"
+  grep -q '"id":"trace/spice.transient/dur_ns"' "$trace_dir/tran-summary-$t.jsonl" \
+    || { echo "trace summary missing spice.transient spans (threads=$t)"; exit 1; }
+done
+
 # Serve smoke: the job service must lint clean, sustain a mixed load
 # over 8 concurrent connections with zero protocol errors, keep its
 # response bodies byte-identical at every CARBON_THREADS (the digest
@@ -128,16 +149,18 @@ grep -q '"id":"trace/serve.request/dur_ns"' "$trace_dir/serve-summary.jsonl" \
 grep -q '"id":"trace/counter/serve.accepted"' "$trace_dir/serve-summary.jsonl" \
   || { echo "trace summary missing serve.accepted counter"; exit 1; }
 
-# Opt-in benchmark regression gate: measure the solver group for real
-# and diff it against the committed baseline, failing on >10 % median
-# regressions. Off by default — timings are only meaningful on a quiet
-# machine. Regenerate the baseline with:
-#   cargo bench --offline -p carbon-bench --bench solver
-#   cp target/carbon-bench/solver.jsonl benches/baseline/solver.jsonl
+# Opt-in benchmark regression gate: measure the solver and transient
+# groups for real and diff them against the committed baselines,
+# failing on >10 % median regressions. Off by default — timings are
+# only meaningful on a quiet machine. Regenerate a baseline with:
+#   cargo bench --offline -p carbon-bench --bench <group>
+#   cp target/carbon-bench/<group>.jsonl benches/baseline/<group>.jsonl
 if [[ "${CARBON_BENCH_COMPARE:-0}" == "1" ]]; then
-  run cargo bench --offline -p carbon-bench --bench solver
-  run cargo run --offline --release -p carbon-bench --bin carbon-bench -- \
-    compare benches/baseline/solver.jsonl target/carbon-bench/solver.jsonl
+  for group in solver tran; do
+    run cargo bench --offline -p carbon-bench --bench "$group"
+    run cargo run --offline --release -p carbon-bench --bin carbon-bench -- \
+      compare "benches/baseline/$group.jsonl" "target/carbon-bench/$group.jsonl"
+  done
 fi
 
 echo "CI OK"

@@ -27,6 +27,15 @@
 //! `fig7` runs the §V statistics experiment and prints its report —
 //! the pure-sampling traced-run target for the CI trace baselines.
 //!
+//! `tran` runs the `tran_ramp` (stiff power-on ramp) and `tran_ring`
+//! (3-stage ring oscillator) transient workloads under both stepping
+//! methods and prints one row per run: deck, method, accepted/rejected
+//! step counts, and an FNV-1a 64 digest over every time point's and
+//! voltage's exact bit pattern. The rows are a pure function of the
+//! decks, so `ci.sh` diffs them across `CARBON_THREADS` — and the
+//! fixed-vs-adaptive step ratio on the ramp deck is the adaptive
+//! method's speedup evidence.
+//!
 //! `serve-load` starts an in-process carbon-serve server on loopback
 //! and drives it with a deterministic mixed job load; latency rows go
 //! to stdout in the compare-JSONL schema, the human summary to stderr.
@@ -46,6 +55,7 @@ fn usage() -> ExitCode {
          carbon-bench fig2\n       \
          carbon-bench fig7\n       \
          carbon-bench ac\n       \
+         carbon-bench tran\n       \
          carbon-bench serve-load [--connections <n>] [--jobs <n>] [--workers <n>]\n                               \
          [--queue-depth <n>] [--digest]"
     );
@@ -60,6 +70,7 @@ fn main() -> ExitCode {
         Some("fig2") => run_fig2(),
         Some("fig7") => run_fig7(),
         Some("ac") => run_ac(),
+        Some("tran") => run_tran(),
         Some("serve-load") => run_serve_load(&args[1..]),
         _ => usage(),
     }
@@ -183,6 +194,59 @@ fn run_ac() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+type TranWorkload = (&'static str, fn() -> carbon_spice::Circuit, f64, f64);
+
+fn run_tran() -> ExitCode {
+    use carbon_spice::TranOptions;
+
+    let ring_h = 2e-9;
+    let workloads: [TranWorkload; 2] = [
+        (
+            "tran_ramp",
+            carbon_bench::tran_ramp,
+            carbon_bench::TRAN_RAMP_TSTEP,
+            carbon_bench::TRAN_RAMP_TSTOP,
+        ),
+        (
+            "tran_ring",
+            || carbon_bench::ring_osc(3, 2e-9),
+            ring_h / 2000.0,
+            ring_h,
+        ),
+    ];
+    for (deck, build, tstep, tstop) in workloads {
+        for (method, opts) in [
+            ("fixed", TranOptions::default()),
+            ("adaptive", TranOptions::adaptive()),
+        ] {
+            let tran = match build().transient_with(tstep, tstop, opts) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("carbon-bench: tran: {deck}/{method}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut digest = carbon_bench::Fnv::new();
+            for &t in tran.times() {
+                digest.write_f64(t);
+            }
+            for node in tran.node_names().to_vec() {
+                for &v in tran.voltages(&node).expect("own node list") {
+                    digest.write_f64(v);
+                }
+            }
+            println!(
+                "deck={deck} method={method} points={} steps={} rejects={} digest={:016x}",
+                tran.times().len(),
+                tran.accepted_steps(),
+                tran.rejected_steps(),
+                digest.finish()
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_compare(args: &[String]) -> ExitCode {

@@ -92,6 +92,135 @@ pub fn rc_ladder(n: usize) -> Circuit {
     ckt
 }
 
+/// Builds the stiff power-on-ramp deck: a PWL supply ramping 0 → 1 V
+/// over 10 ns into two RC sections with time constants 1 ns and 10 µs —
+/// four decades apart, so a fixed grid fine enough for the fast corner
+/// wastes ~10⁴ steps on the slow tail while the LTE controller grows
+/// right through it. The canonical `tran_ramp` adaptive-speedup
+/// workload (horizon 50 µs, initial step 1 ns).
+pub fn tran_ramp() -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.voltage_source_wave(
+        "vramp",
+        "in",
+        "0",
+        carbon_spice::Waveform::Pwl(vec![(0.0, 0.0), (1e-8, 1.0)]),
+    )
+    .expect("unique names");
+    ckt.resistor("r1", "in", "fast", 1e2).expect("unique names");
+    ckt.capacitor("c1", "fast", "0", 1e-11)
+        .expect("unique names");
+    ckt.resistor("r2", "fast", "slow", 1e4)
+        .expect("unique names");
+    ckt.capacitor("c2", "slow", "0", 1e-9)
+        .expect("unique names");
+    ckt
+}
+
+/// Horizon of the [`tran_ramp`] workload, s.
+pub const TRAN_RAMP_TSTOP: f64 = 5e-5;
+
+/// Initial/fixed step of the [`tran_ramp`] workload, s (50 000 fixed
+/// steps over the horizon).
+pub const TRAN_RAMP_TSTEP: f64 = 1e-9;
+
+/// A square-law FET pair for ring benches: n-type for `sign = 1.0`,
+/// p-type mirror for `sign = -1.0`.
+#[derive(Debug)]
+struct SquareLaw {
+    k: f64,
+    vt: f64,
+    sign: f64,
+}
+
+impl carbon_spice::FetCurve for SquareLaw {
+    fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let (vgs, vds) = (self.sign * vgs, self.sign * vds);
+        let ids = if vds < 0.0 {
+            -self.square_law(vgs - vds, -vds)
+        } else {
+            self.square_law(vgs, vds)
+        };
+        self.sign * ids
+    }
+}
+
+impl SquareLaw {
+    fn square_law(&self, vgs: f64, vds: f64) -> f64 {
+        let vov = vgs - self.vt;
+        if vov <= 0.0 {
+            0.0
+        } else if vds < vov {
+            self.k * (vov * vds - 0.5 * vds * vds)
+        } else {
+            0.5 * self.k * vov * vov
+        }
+    }
+}
+
+/// Builds an odd-`stages` square-law CMOS ring oscillator with 10 fF
+/// stage loads and a start-up kick pulse sized for the `horizon` — the
+/// `tran_ring` oscillating-transient workload (`2·stages + 2` unknowns,
+/// sparse path from 7 stages up).
+///
+/// # Panics
+///
+/// Panics if `stages` is even or below 3.
+pub fn ring_osc(stages: usize, horizon: f64) -> Circuit {
+    assert!(
+        stages >= 3 && stages % 2 == 1,
+        "ring needs an odd stage count >= 3"
+    );
+    let mut ckt = Circuit::new();
+    ckt.voltage_source("vdd", "vdd", "0", 1.0);
+    for s in 0..stages {
+        let input = format!("n{s}");
+        let output = format!("n{}", (s + 1) % stages);
+        ckt.fet(
+            &format!("mp{s}"),
+            &output,
+            &input,
+            "vdd",
+            std::sync::Arc::new(SquareLaw {
+                k: 2e-3,
+                vt: 0.3,
+                sign: -1.0,
+            }),
+        )
+        .expect("unique names");
+        ckt.fet(
+            &format!("mn{s}"),
+            &output,
+            &input,
+            "0",
+            std::sync::Arc::new(SquareLaw {
+                k: 2e-3,
+                vt: 0.3,
+                sign: 1.0,
+            }),
+        )
+        .expect("unique names");
+        ckt.capacitor(&format!("cl{s}"), &output, "0", 1e-14)
+            .expect("unique names");
+    }
+    ckt.current_source_wave(
+        "ikick",
+        "n0",
+        "0",
+        carbon_spice::Waveform::Pulse {
+            low: 0.0,
+            high: 6e-5,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: horizon / 50.0,
+            period: 0.0,
+        },
+    )
+    .expect("unique names");
+    ckt
+}
+
 /// A linear small-signal FET: `gm = 1 mS`, `gds = 10 µS` everywhere.
 #[derive(Debug)]
 struct LinearFet;
@@ -114,6 +243,44 @@ pub fn fet_cs_amp() -> Circuit {
     ckt.fet("m1", "d", "g", "0", std::sync::Arc::new(LinearFet))
         .expect("unique names");
     ckt
+}
+
+/// FNV-1a 64-bit hash — the digest every deterministic smoke target
+/// prints so `ci.sh` can diff runs across `CARBON_THREADS` with one
+/// line of shell.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs an `f64`'s exact bit pattern (big-endian), so two
+    /// digests match iff every float matches bitwise.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_be_bytes());
+    }
+
+    /// The hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// `n` log-spaced frequencies over `lo..=hi` — the grid every AC
@@ -175,6 +342,46 @@ mod tests {
             ac.corner_frequency("d").expect("node").is_some(),
             "load cap must roll the gain off inside the grid"
         );
+    }
+
+    #[test]
+    fn tran_ramp_is_stiff_and_adaptive_skips_the_tail() {
+        let fixed_steps = (TRAN_RAMP_TSTOP / TRAN_RAMP_TSTEP).round() as usize;
+        let tran = tran_ramp()
+            .transient_adaptive(TRAN_RAMP_TSTEP, TRAN_RAMP_TSTOP)
+            .expect("integrates");
+        let slow = tran.voltages("slow").expect("node");
+        assert!(
+            (slow.last().expect("points") - 1.0).abs() < 0.01,
+            "slow node settles to the rail"
+        );
+        // The whole point of the workload: the LTE controller must cut
+        // at least an order of magnitude off the 50 000-step fixed grid.
+        assert!(
+            tran.accepted_steps() * 10 < fixed_steps,
+            "adaptive took {} steps vs {fixed_steps} fixed",
+            tran.accepted_steps()
+        );
+    }
+
+    #[test]
+    fn ring_osc_oscillates_under_both_methods() {
+        let horizon = 2e-9;
+        let crossings = |tran: &carbon_spice::TranResult| {
+            let t = tran.times();
+            let v = tran.voltages("n0").expect("node");
+            (1..v.len())
+                .filter(|&k| t[k] > horizon * 0.25 && v[k - 1] < 0.5 && v[k] >= 0.5)
+                .count()
+        };
+        let fixed = ring_osc(3, horizon)
+            .transient(horizon / 2000.0, horizon)
+            .expect("integrates");
+        assert!(crossings(&fixed) >= 3, "fixed run must ring");
+        let adaptive = ring_osc(3, horizon)
+            .transient_adaptive(horizon / 2000.0, horizon)
+            .expect("integrates");
+        assert!(crossings(&adaptive) >= 3, "adaptive run must ring");
     }
 
     #[test]

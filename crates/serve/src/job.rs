@@ -24,7 +24,7 @@
 
 use carbon_json::Json;
 use carbon_spice::parser::parse_deck;
-use carbon_spice::{Circuit, SpiceError};
+use carbon_spice::{Circuit, SpiceError, TranMethod, TranOptions};
 
 /// The job kinds the service accepts, in the order error messages list
 /// them.
@@ -136,14 +136,18 @@ pub enum Job {
         /// Probe nodes, in request order.
         nodes: Vec<String>,
     },
-    /// Fixed-step transient analysis.
+    /// Transient analysis: fixed-step by default (byte-identical to the
+    /// pre-`method` responses), LTE-adaptive on request.
     Transient {
         /// The parsed netlist.
         circuit: Circuit,
-        /// Time step, s.
+        /// Time step, s (initial step for the adaptive method).
         tstep: f64,
         /// Stop time, s.
         tstop: f64,
+        /// Method and LTE tuning, resolved from the optional
+        /// `"method"`/`"options"` request fields.
+        options: TranOptions,
         /// Probe nodes, in request order.
         nodes: Vec<String>,
     },
@@ -269,6 +273,7 @@ impl Job {
                     circuit: deck_field(job)?,
                     tstep,
                     tstop,
+                    options: tran_options_fields(job)?,
                     nodes: nodes_field(job)?,
                 })
             }
@@ -352,19 +357,27 @@ impl Job {
                 circuit,
                 tstep,
                 tstop,
+                options,
                 nodes,
             } => {
                 let tran = circuit
-                    .transient(*tstep, *tstop)
+                    .transient_with(*tstep, *tstop, *options)
                     .map_err(|e| JobError::from_spice(&e))?;
                 let mut traces = Json::obj();
                 for node in nodes {
                     let vs = tran.voltages(node).map_err(|e| JobError::from_spice(&e))?;
                     traces = traces.push(node, float_array(vs));
                 }
-                Ok(Json::obj()
-                    .push("times", float_array(tran.times()))
-                    .push("nodes", traces))
+                let mut result = Json::obj().push("times", float_array(tran.times()));
+                // The default (fixed) response keeps its historical
+                // shape byte for byte; the adaptive method reports its
+                // step-controller statistics alongside.
+                if options.method == TranMethod::Adaptive {
+                    result = result
+                        .push("steps", tran.accepted_steps())
+                        .push("rejects", tran.rejected_steps());
+                }
+                Ok(result.push("nodes", traces))
             }
             Self::Fig2 => figure_result(carbon_core::jobs::fig2_report()),
             Self::Fig5 => figure_result(carbon_core::jobs::fig5_report()),
@@ -416,6 +429,69 @@ fn num_field(job: &Json, field: &str) -> Result<f64, JobError> {
 fn deck_field(job: &Json) -> Result<Circuit, JobError> {
     let deck = str_field(job, "deck")?;
     parse_deck(&deck).map_err(|e| JobError::invalid(format!("job.deck: {e}")))
+}
+
+/// Optional `"method"` / `"options"` fields of a transient job.
+///
+/// `"method"` must be `"fixed"` (the default) or `"adaptive"`;
+/// `"options"` is an object of LTE knobs (`lte_reltol`, `lte_abstol`,
+/// `max_step`, `min_step`, each a positive finite number) and is only
+/// accepted with the adaptive method — the fixed method ignores every
+/// knob, and silently accepting them would mask request bugs. Unknown
+/// option keys are rejected by name.
+fn tran_options_fields(job: &Json) -> Result<TranOptions, JobError> {
+    let method = match job.get("method") {
+        None => TranMethod::FixedStep,
+        Some(m) => match m.as_str() {
+            Some("fixed") => TranMethod::FixedStep,
+            Some("adaptive") => TranMethod::Adaptive,
+            Some(other) => {
+                return Err(JobError::invalid(format!(
+                    "job.method '{other}' is not a transient method: valid methods are \
+                     fixed, adaptive"
+                )))
+            }
+            None => return Err(JobError::invalid("job.method must be a string")),
+        },
+    };
+    let mut options = TranOptions {
+        method,
+        ..TranOptions::default()
+    };
+    let Some(opts) = job.get("options") else {
+        return Ok(options);
+    };
+    if method != TranMethod::Adaptive {
+        return Err(JobError::invalid(
+            "job.options is only accepted with job.method = \"adaptive\"",
+        ));
+    }
+    let Json::Obj(entries) = opts else {
+        return Err(JobError::invalid("job.options must be an object"));
+    };
+    for (key, value) in entries {
+        let v = value
+            .as_f64()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| {
+                JobError::invalid(format!(
+                    "job.options.{key} must be a positive finite number"
+                ))
+            })?;
+        match key.as_str() {
+            "lte_reltol" => options.lte_reltol = v,
+            "lte_abstol" => options.lte_abstol = v,
+            "max_step" => options.max_step = Some(v),
+            "min_step" => options.min_step = Some(v),
+            other => {
+                return Err(JobError::invalid(format!(
+                    "unknown transient option 'job.options.{other}': valid options are \
+                     lte_reltol, lte_abstol, max_step, min_step"
+                )))
+            }
+        }
+    }
+    Ok(options)
 }
 
 /// Required non-empty `nodes` array of non-empty strings.
@@ -600,6 +676,94 @@ mod tests {
         assert_eq!(*g.last().unwrap(), 1000.0);
         assert!(g.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(log_grid(5.0, 5.0, 10), vec![5.0]);
+    }
+
+    #[test]
+    fn adaptive_transient_job_reports_step_statistics() {
+        let body = Json::obj()
+            .push("kind", "transient")
+            .push("deck", RC_DECK)
+            .push("tstep", 2e-5)
+            .push("tstop", 4e-3)
+            .push("method", "adaptive")
+            .push("nodes", Json::Arr(vec![Json::Str("out".into())]));
+        let result = Job::from_json(&body).unwrap().run().unwrap();
+        let steps = result.get("steps").and_then(Json::as_u64).unwrap();
+        let times = result.get("times").and_then(Json::as_array).unwrap();
+        assert_eq!(steps as usize + 1, times.len());
+        assert!(result.get("rejects").and_then(Json::as_u64).is_some());
+        // The default (and explicit "fixed") response keeps the
+        // historical shape: no step-controller fields.
+        for method in [None, Some("fixed")] {
+            let mut fixed = Json::obj()
+                .push("kind", "transient")
+                .push("deck", RC_DECK)
+                .push("tstep", 2e-5)
+                .push("tstop", 4e-3);
+            if let Some(m) = method {
+                fixed = fixed.push("method", m);
+            }
+            let fixed = fixed.push("nodes", Json::Arr(vec![Json::Str("out".into())]));
+            let result = Job::from_json(&fixed).unwrap().run().unwrap();
+            assert!(result.get("steps").is_none());
+            assert!(result.get("rejects").is_none());
+        }
+    }
+
+    #[test]
+    fn transient_method_and_options_are_validated() {
+        let base = || {
+            Json::obj()
+                .push("kind", "transient")
+                .push("deck", RC_DECK)
+                .push("tstep", 2e-5)
+                .push("tstop", 4e-3)
+                .push("nodes", Json::Arr(vec![Json::Str("out".into())]))
+        };
+        let err = Job::from_json(&base().push("method", "euler")).unwrap_err();
+        assert!(
+            matches!(&err, JobError::Invalid { reason }
+                if reason.contains("euler") && reason.contains("adaptive")),
+            "{err:?}"
+        );
+        // Options without the adaptive method are a request bug.
+        let err = Job::from_json(&base().push("options", Json::obj().push("lte_reltol", 1e-4)))
+            .unwrap_err();
+        assert!(
+            matches!(&err, JobError::Invalid { reason } if reason.contains("adaptive")),
+            "{err:?}"
+        );
+        // Unknown option keys are rejected by name.
+        let err = Job::from_json(
+            &base()
+                .push("method", "adaptive")
+                .push("options", Json::obj().push("reltol", 1e-4)),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, JobError::Invalid { reason }
+                if reason.contains("job.options.reltol") && reason.contains("lte_reltol")),
+            "{err:?}"
+        );
+        // Non-positive knob values are rejected by name.
+        let err = Job::from_json(
+            &base()
+                .push("method", "adaptive")
+                .push("options", Json::obj().push("max_step", 0.0)),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, JobError::Invalid { reason } if reason.contains("job.options.max_step")),
+            "{err:?}"
+        );
+        // Valid knobs pass validation and thread into the solver.
+        let ok = Job::from_json(
+            &base()
+                .push("method", "adaptive")
+                .push("options", Json::obj().push("lte_reltol", 1e-4)),
+        )
+        .unwrap();
+        assert!(ok.run().is_ok());
     }
 
     #[test]

@@ -54,6 +54,17 @@ fn job_set() -> Vec<String> {
             .push("tstep", 2e-5)
             .push("tstop", 4e-3)
             .push("nodes", nodes(&["out"])),
+        // The adaptive method's accept/reject sequence is a pure
+        // function of the deck, so its variable grid must render
+        // byte-identically too.
+        Json::obj()
+            .push("kind", "transient")
+            .push("deck", DIVIDER_DECK)
+            .push("tstep", 2e-5)
+            .push("tstop", 4e-3)
+            .push("method", "adaptive")
+            .push("options", Json::obj().push("lte_reltol", 1e-4))
+            .push("nodes", nodes(&["mid"])),
         Json::obj().push("kind", "fig7"),
     ];
     jobs.into_iter()

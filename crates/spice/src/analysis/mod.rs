@@ -14,9 +14,9 @@
 //!   deterministic executor: a coarse serial pre-solve seeds each
 //!   parallel chunk, and the result is bit-identical to the serial
 //!   sweep at every `CARBON_THREADS`,
-//! * [`Circuit::transient`] — fixed-step integration (backward-Euler
-//!   start-up step, trapezoidal thereafter), used for ring oscillators
-//!   and the inverter's dynamic behaviour with its 10 fF load.
+//! * [`Circuit::transient`] — time-domain integration (fixed-step or
+//!   LTE-adaptive, see [`transient`]), used for ring oscillators and
+//!   the inverter's dynamic behaviour with its 10 fF load.
 //!
 //! All of them share one [`MnaWorkspace`] per analysis, so the sparse
 //! symbolic analysis and pivot order are discovered once and re-used by
@@ -24,11 +24,10 @@
 
 pub mod ac;
 mod engine;
+pub mod transient;
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::element::ElementKind;
 use crate::error::SpiceError;
 use crate::netlist::Circuit;
 use carbon_trace::{counter, instant, span};
@@ -36,6 +35,7 @@ use carbon_trace::{counter, instant, span};
 pub(crate) use engine::{
     newton_solve, CapCompanion, IndCompanion, MnaWorkspace, NameTable, NewtonOptions, SolverCache,
 };
+pub use transient::{TranMethod, TranOptions, TranResult};
 
 /// Solution of a DC operating point.
 #[derive(Debug, Clone)]
@@ -179,35 +179,6 @@ impl SweepResult {
     /// Panics if `i` is out of range.
     pub fn point(&self, i: usize) -> &OpResult {
         &self.points[i]
-    }
-}
-
-/// Result of a transient analysis: time points and node-voltage traces.
-#[derive(Debug, Clone)]
-pub struct TranResult {
-    times: Vec<f64>,
-    traces: HashMap<String, Vec<f64>>,
-}
-
-impl TranResult {
-    /// The time grid, s.
-    pub fn times(&self) -> &[f64] {
-        &self.times
-    }
-
-    /// Voltage trace of a node over time.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpiceError::UnknownNode`] for unknown names.
-    pub fn voltages(&self, node: &str) -> Result<&[f64], SpiceError> {
-        let lower = node.to_ascii_lowercase();
-        self.traces
-            .get(&lower)
-            .map(|v| v.as_slice())
-            .ok_or(SpiceError::UnknownNode {
-                name: node.to_owned(),
-            })
     }
 }
 
@@ -588,158 +559,5 @@ impl Circuit {
             points,
             newton_iterations,
         })
-    }
-
-    /// Fixed-step transient analysis from `t = 0` to `tstop` with step
-    /// `tstep`. The initial condition is the DC operating point with all
-    /// sources at their `t = 0` values.
-    ///
-    /// Integration is backward Euler for the first step and trapezoidal
-    /// afterwards.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpiceError::InvalidSweep`] for non-positive steps or
-    /// horizons and solver errors from individual time points.
-    pub fn transient(&self, tstep: f64, tstop: f64) -> Result<TranResult, SpiceError> {
-        // Field-by-field validation, matching the AC sweep's style: the
-        // offending parameter is named so a bad caller-side formula is a
-        // one-glance fix.
-        for (field, value) in [("tstep", tstep), ("tstop", tstop)] {
-            if !value.is_finite() {
-                return Err(SpiceError::InvalidSweep {
-                    reason: format!("transient {field} = {value} must be finite"),
-                });
-            }
-            if value <= 0.0 {
-                return Err(SpiceError::InvalidSweep {
-                    reason: format!("transient {field} = {value} must be positive"),
-                });
-            }
-        }
-        if tstep > tstop {
-            return Err(SpiceError::InvalidSweep {
-                reason: format!(
-                    "transient tstep = {tstep} exceeds tstop = {tstop}: the horizon must cover \
-                     at least one step"
-                ),
-            });
-        }
-        let opts = NewtonOptions::default();
-        let mut cache = self.solver_cache.lock();
-        let ws = cache
-            .dc
-            .get_or_insert_with(|| MnaWorkspace::for_circuit(self));
-        // DC initial condition with sources evaluated at t = 0.
-        let mut x = vec![0.0; self.num_unknowns()];
-        newton_solve(self, ws, &mut x, Some(0.0), None, 1.0, opts.gmin, &opts).or_else(|_| {
-            // Fall back to the robust op ladder, then refine at t = 0.
-            x.fill(0.0);
-            self.op_from(&mut x, ws)?;
-            newton_solve(self, ws, &mut x, Some(0.0), None, 1.0, opts.gmin, &opts)
-        })?;
-
-        // Initialize reactive-element states from the operating point.
-        let n_nodes = self.num_nodes();
-        let mut caps: Vec<CapCompanion> = self
-            .elements
-            .iter()
-            .enumerate()
-            .filter_map(|(idx, e)| match e.kind {
-                ElementKind::Capacitor { p, n, c } => Some(CapCompanion::at_rest(idx, p, n, c, &x)),
-                _ => None,
-            })
-            .collect();
-        let mut inds: Vec<IndCompanion> = self
-            .elements
-            .iter()
-            .enumerate()
-            .filter_map(|(idx, e)| match e.kind {
-                ElementKind::Inductor { p, n, branch, l } => {
-                    Some(IndCompanion::at_rest(idx, p, n, branch, l, &x, n_nodes))
-                }
-                _ => None,
-            })
-            .collect();
-
-        let steps = (tstop / tstep).round() as usize;
-        let mut times = Vec::with_capacity(steps + 1);
-        let mut samples: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
-        times.push(0.0);
-        samples.push(x.clone());
-
-        for k in 1..=steps {
-            // Checkpoint between time steps: a deadline that expires
-            // mid-transient stops before the next integration step (the
-            // Newton loop below has its own per-iteration checkpoint).
-            if carbon_runtime::cancel::cancelled() {
-                return Err(SpiceError::Cancelled {
-                    analysis: "transient",
-                });
-            }
-            let t = k as f64 * tstep;
-            let trapezoidal = k > 1;
-            for cap in &mut caps {
-                cap.prepare(tstep, trapezoidal);
-            }
-            for ind in &mut inds {
-                ind.prepare(tstep, trapezoidal);
-            }
-            if newton_solve(
-                self,
-                ws,
-                &mut x,
-                Some(t),
-                Some((&caps, &inds)),
-                1.0,
-                opts.gmin,
-                &opts,
-            )
-            .is_err()
-            {
-                // Retry with heavy damping: piecewise-linear device
-                // models (table models) can make full Newton steps
-                // cycle between interpolation cells.
-                let damped = NewtonOptions {
-                    max_iter: 600,
-                    vstep_limit: 0.02,
-                    ..opts
-                };
-                newton_solve(
-                    self,
-                    ws,
-                    &mut x,
-                    Some(t),
-                    Some((&caps, &inds)),
-                    1.0,
-                    opts.gmin,
-                    &damped,
-                )
-                .map_err(|e| match e {
-                    SpiceError::SingularMatrix { .. } | SpiceError::Cancelled { .. } => e,
-                    _ => SpiceError::NonConvergence {
-                        analysis: "transient",
-                        iterations: damped.max_iter,
-                        residual: t,
-                    },
-                })?;
-            }
-            for cap in &mut caps {
-                cap.commit(&x);
-            }
-            for ind in &mut inds {
-                ind.commit(&x, n_nodes);
-            }
-            times.push(t);
-            samples.push(x.clone());
-        }
-
-        let mut traces = HashMap::new();
-        for i in 1..=self.num_nodes() {
-            let name = self.node_name(crate::netlist::NodeId(i)).to_owned();
-            let trace = samples.iter().map(|s| s[i - 1]).collect();
-            traces.insert(name, trace);
-        }
-        Ok(TranResult { times, traces })
     }
 }

@@ -69,6 +69,30 @@ pub enum SpiceError {
         /// Largest node-voltage update when that attempt aborted, V.
         residual: f64,
     },
+    /// A transient time point refused to converge even after the
+    /// damped retry — reported with the failing time (a dedicated
+    /// field, not smuggled through the residual) and the last Newton
+    /// attempt's true iteration count and residual, matching the
+    /// `dc_sweep` continuation-exhaustion style.
+    TransientNonConvergence {
+        /// Simulation time (s) of the point that refused to converge.
+        time: f64,
+        /// Iterations performed in the last Newton attempt.
+        iterations: usize,
+        /// Largest node-voltage update when that attempt aborted, V.
+        residual: f64,
+    },
+    /// Adaptive transient step control halved the step below its floor
+    /// without the local-truncation estimate ever accepting a step —
+    /// the time-domain analogue of continuation exhaustion.
+    TimestepCollapsed {
+        /// Simulation time (s) the integrator was stuck at.
+        time: f64,
+        /// The rejected step size, s.
+        step: f64,
+        /// The configured minimum step, s.
+        min_step: f64,
+    },
     /// A sweep or transient was asked for with a non-positive step, or
     /// bounds in the wrong order.
     InvalidSweep {
@@ -133,6 +157,24 @@ impl std::fmt::Display for SpiceError {
                  continuation exhausted): last Newton attempt left residual {residual:.3e} V \
                  after {iterations} iterations"
             ),
+            Self::TransientNonConvergence {
+                time,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "transient failed to converge at t = {time:.6e} s: last Newton attempt left \
+                 residual {residual:.3e} V after {iterations} iterations"
+            ),
+            Self::TimestepCollapsed {
+                time,
+                step,
+                min_step,
+            } => write!(
+                f,
+                "adaptive transient step collapsed at t = {time:.6e} s: step {step:.3e} s fell \
+                 below the minimum {min_step:.3e} s without an accepted step"
+            ),
             Self::InvalidSweep { reason } => write!(f, "invalid sweep: {reason}"),
             Self::Cancelled { analysis } => {
                 write!(f, "{analysis} cancelled (deadline exceeded or job cancelled)")
@@ -175,6 +217,25 @@ mod tests {
         assert!(exhausted.contains("0.8125"), "{exhausted}");
         assert!(exhausted.contains("4.200e-1"), "{exhausted}");
         assert!(exhausted.contains("150"), "{exhausted}");
+        // The transient failure names the time in its own field and
+        // keeps the residual a residual.
+        let tran = SpiceError::TransientNonConvergence {
+            time: 2.5e-7,
+            iterations: 600,
+            residual: 1.7e-2,
+        }
+        .to_string();
+        assert!(tran.contains("2.500000e-7"), "{tran}");
+        assert!(tran.contains("600"), "{tran}");
+        assert!(tran.contains("1.700e-2"), "{tran}");
+        let collapsed = SpiceError::TimestepCollapsed {
+            time: 1e-9,
+            step: 1e-21,
+            min_step: 1e-18,
+        }
+        .to_string();
+        assert!(collapsed.contains("1.000e-21"), "{collapsed}");
+        assert!(collapsed.contains("1.000e-18"), "{collapsed}");
     }
 
     #[test]

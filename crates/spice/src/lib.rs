@@ -54,7 +54,7 @@ pub mod sparse;
 pub mod waveform;
 
 pub use analysis::ac::{AcMethod, AcResult};
-pub use analysis::{OpResult, SweepOptions, SweepResult, TranResult};
+pub use analysis::{OpResult, SweepOptions, SweepResult, TranMethod, TranOptions, TranResult};
 pub use complex::Complex;
 pub use element::FetCurve;
 pub use error::SpiceError;

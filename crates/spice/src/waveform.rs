@@ -115,6 +115,65 @@ impl Waveform {
         }
     }
 
+    /// Appends the waveform's breakpoints within `(0, tstop)` to `out`
+    /// — the times where the source's value or slope is discontinuous,
+    /// which an adaptive integrator must land on exactly rather than
+    /// step across.
+    ///
+    /// Pulse waveforms contribute their four edge corners per period
+    /// (capped at [`Waveform::MAX_BREAKPOINTS`] entries so a
+    /// pathologically short period cannot explode the list — beyond
+    /// the cap the step-size controller resolves the edges on its
+    /// own); PWL waveforms contribute every corner; sinusoids their
+    /// start delay; DC sources none.
+    pub fn breakpoints(&self, tstop: f64, out: &mut Vec<f64>) {
+        let mut push = |t: f64| {
+            if t > 0.0 && t < tstop {
+                out.push(t);
+            }
+        };
+        match *self {
+            Self::Dc(_) => {}
+            Self::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let mut base = delay;
+                let mut generated = 0usize;
+                loop {
+                    for corner in [
+                        base,
+                        base + rise,
+                        base + rise + width,
+                        base + rise + width + fall,
+                    ] {
+                        push(corner);
+                    }
+                    generated += 4;
+                    if period <= 0.0 || base + period >= tstop || generated >= Self::MAX_BREAKPOINTS
+                    {
+                        break;
+                    }
+                    base += period;
+                }
+            }
+            Self::Pwl(ref pts) => {
+                for &(t, _) in pts {
+                    push(t);
+                }
+            }
+            Self::Sin { delay, .. } => push(delay),
+        }
+    }
+
+    /// Upper bound on the breakpoints one periodic source contributes
+    /// (see [`Waveform::breakpoints`]).
+    pub const MAX_BREAKPOINTS: usize = 65536;
+
     /// The DC (t → 0⁻) value used for operating-point analyses.
     pub fn dc_value(&self) -> f64 {
         match *self {
@@ -206,6 +265,50 @@ mod tests {
         let w = Waveform::Pwl(vec![]);
         assert_eq!(w.value_at(1.0), 0.0);
         assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn breakpoints_cover_edges_within_the_horizon() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 2e-10,
+            width: 5e-10,
+            period: 0.0,
+        };
+        let mut bp = Vec::new();
+        w.breakpoints(1e-6, &mut bp);
+        let expect = [1e-9, 1.1e-9, 1.6e-9, 1.8e-9];
+        assert_eq!(bp.len(), expect.len());
+        for (got, want) in bp.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-15, "{got} vs {want}");
+        }
+        // Horizon clamps: corners at or past tstop are dropped.
+        bp.clear();
+        w.breakpoints(1.2e-9, &mut bp);
+        assert_eq!(bp.len(), 2);
+        // Periodic pulses repeat their corners but stay bounded.
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1e-9,
+            period: 2e-9,
+        };
+        bp.clear();
+        w.breakpoints(1.0, &mut bp);
+        assert!(bp.len() <= Waveform::MAX_BREAKPOINTS + 4);
+        // PWL corners and sine delays show up; DC contributes none.
+        bp.clear();
+        Waveform::Pwl(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5)]).breakpoints(1.5, &mut bp);
+        assert_eq!(bp, vec![1.0]);
+        bp.clear();
+        Waveform::Dc(1.0).breakpoints(1.0, &mut bp);
+        assert!(bp.is_empty());
     }
 
     #[test]
