@@ -107,6 +107,27 @@ for t in 1 2 4 8; do
     || { echo "trace summary missing spice.transient spans (threads=$t)"; exit 1; }
 done
 
+# Batch smoke: every SoA device kernel must be bit-identical to its
+# scalar entry point (the subcommand asserts this per lane), and the
+# full report — model digests plus the adaptive Monte-Carlo campaign's
+# device count, round count, CI, and population digest — must be
+# byte-identical at every thread count. The adaptive row is the
+# campaign-sizing determinism gate: growth happens in whole MC_CHUNK
+# rounds on per-chunk RNG streams, so thread count must not move it.
+run cargo clippy --offline -p carbon-devices --all-targets -- -D warnings
+echo "==> batch smoke: SoA kernel + adaptive campaign byte-identity"
+for t in 1 2 4 8; do
+  CARBON_THREADS=$t "$bench_bin" batch > "$trace_dir/batch-$t.txt" \
+    || { echo "batch smoke failed at threads=$t"; exit 1; }
+done
+grep -q '^batch adaptive devices=[0-9]* rounds=[0-9]* converged=true' \
+  "$trace_dir/batch-1.txt" \
+  || { echo "batch report missing a converged adaptive campaign row"; exit 1; }
+for t in 2 4 8; do
+  diff "$trace_dir/batch-1.txt" "$trace_dir/batch-$t.txt" \
+    || { echo "batch report drifted at threads=$t"; exit 1; }
+done
+
 # Serve smoke: the job service must lint clean, sustain a mixed load
 # over 8 concurrent connections with zero protocol errors, keep its
 # response bodies byte-identical at every CARBON_THREADS (the digest
@@ -149,14 +170,14 @@ grep -q '"id":"trace/serve.request/dur_ns"' "$trace_dir/serve-summary.jsonl" \
 grep -q '"id":"trace/counter/serve.accepted"' "$trace_dir/serve-summary.jsonl" \
   || { echo "trace summary missing serve.accepted counter"; exit 1; }
 
-# Opt-in benchmark regression gate: measure the solver and transient
-# groups for real and diff them against the committed baselines,
+# Opt-in benchmark regression gate: measure the solver, transient, and
+# device-batch groups for real and diff them against the committed baselines,
 # failing on >10 % median regressions. Off by default — timings are
 # only meaningful on a quiet machine. Regenerate a baseline with:
 #   cargo bench --offline -p carbon-bench --bench <group>
 #   cp target/carbon-bench/<group>.jsonl benches/baseline/<group>.jsonl
 if [[ "${CARBON_BENCH_COMPARE:-0}" == "1" ]]; then
-  for group in solver tran; do
+  for group in solver tran device_batch; do
     run cargo bench --offline -p carbon-bench --bench "$group"
     run cargo run --offline --release -p carbon-bench --bin carbon-bench -- \
       compare "benches/baseline/$group.jsonl" "target/carbon-bench/$group.jsonl"

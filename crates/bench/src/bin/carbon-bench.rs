@@ -15,7 +15,18 @@
 //!
 //! `trace-summary` folds a `CARBON_TRACE` JSONL event stream into the
 //! same schema `compare` consumes (span duration stats, integer-field
-//! stats, counter totals), printed to stdout.
+//! stats, counter totals), printed to stdout. With `--folded` it
+//! instead emits flamegraph folded stacks — one
+//! `root;child;leaf self_ns` line per call path, self time only — for
+//! direct consumption by `flamegraph.pl` / `inferno`.
+//!
+//! `batch` evaluates every device model through both the scalar entry
+//! point and the structure-of-arrays batch kernel over fixed lanes,
+//! asserts the outputs are bit-identical, and prints one digest row per
+//! model plus one row for the adaptive §V Monte-Carlo campaign. The
+//! output is a pure function of the models, so `ci.sh` diffs it across
+//! `CARBON_THREADS` — the batch layer's and the adaptive campaign's
+//! determinism smoke test.
 //!
 //! `fig2` runs the Fig. 2 experiment and prints its report — a small,
 //! deterministic traced-run target for the CI trace smoke test.
@@ -51,7 +62,8 @@ use carbon_bench::summary::summarize;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: carbon-bench compare <old.jsonl> <new.jsonl> [--threshold <pct>]\n       \
-         carbon-bench trace-summary <trace.jsonl>\n       \
+         carbon-bench trace-summary <trace.jsonl> [--folded]\n       \
+         carbon-bench batch\n       \
          carbon-bench fig2\n       \
          carbon-bench fig7\n       \
          carbon-bench ac\n       \
@@ -67,6 +79,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("compare") => run_compare(&args[1..]),
         Some("trace-summary") => run_trace_summary(&args[1..]),
+        Some("batch") => run_batch(),
         Some("fig2") => run_fig2(),
         Some("fig7") => run_fig7(),
         Some("ac") => run_ac(),
@@ -134,8 +147,10 @@ fn run_serve_load(args: &[String]) -> ExitCode {
 }
 
 fn run_trace_summary(args: &[String]) -> ExitCode {
-    let [path] = args else {
-        return usage();
+    let (path, folded) = match args {
+        [path] => (path, false),
+        [path, flag] | [flag, path] if flag == "--folded" => (path, true),
+        _ => return usage(),
     };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -144,6 +159,15 @@ fn run_trace_summary(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if folded {
+        let stacks = carbon_bench::summary::folded(&text);
+        print!("{stacks}");
+        if stacks.is_empty() {
+            eprintln!("carbon-bench: {path}: no spans recognized");
+            return ExitCode::from(2);
+        }
+        return ExitCode::SUCCESS;
+    }
     let summary = summarize(&text);
     print!("{summary}");
     if summary.stats.is_empty() {
@@ -156,6 +180,110 @@ fn run_trace_summary(args: &[String]) -> ExitCode {
             summary.skipped
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// Deterministic lanes spread over the operating window with
+/// incommensurate strides, so no branch pattern repeats.
+fn batch_lanes(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let vgs = (0..n)
+        .map(|i| -0.2 + 1.1 * (i % 131) as f64 / 130.0)
+        .collect();
+    let vds = (0..n)
+        .map(|i| 0.05 + 0.85 * (i % 97) as f64 / 96.0)
+        .collect();
+    (vgs, vds)
+}
+
+/// Evaluates one model scalar and batched, asserts bit-identity, and
+/// prints the digest row.
+fn batch_row(name: &str, model: &(impl carbon_devices::batch::BatchEval + ?Sized), n: usize) {
+    let (vgs, vds) = batch_lanes(n);
+    let mut soa = vec![0.0; n];
+    model.ids_soa(&vgs, &vds, &mut soa);
+    let mut digest = carbon_bench::Fnv::new();
+    for k in 0..n {
+        let scalar = model.ids(vgs[k], vds[k]);
+        assert_eq!(
+            scalar.to_bits(),
+            soa[k].to_bits(),
+            "{name}: SoA kernel diverged from scalar at lane {k}"
+        );
+        digest.write_f64(soa[k]);
+    }
+    println!(
+        "batch model={name} lanes={n} digest={:016x}",
+        digest.finish()
+    );
+}
+
+fn run_batch() -> ExitCode {
+    let table_src = match carbon_devices::BallisticFet::cnt_fig1() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("carbon-bench: batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = match carbon_devices::TableFet::sample(&table_src, (-0.3, 1.2), (-0.1, 1.0), 61, 61)
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("carbon-bench: batch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let alpha = carbon_devices::AlphaPowerFet::new(0.35, 1.3, 7.2e-4, 0.8, 0.15, 75.0)
+        .expect("literal parameters are valid");
+    let gnr = carbon_devices::LinearGnrFet::new(2e-4, 0.35, 90.0, 0.3, 0.5)
+        .expect("literal parameters are valid");
+
+    batch_row("alpha_power", &alpha, 4096);
+    batch_row("linear_gnr", &gnr, 4096);
+    batch_row("table", &table, 4096);
+    // The live ballistic model is transcendental-heavy; a short lane
+    // still covers every branch of its SoA kernel.
+    batch_row("ballistic", &table_src, 64);
+
+    // The executor-chunked entry point: this row is what makes the
+    // cross-thread diff in ci.sh meaningful for the batch layer.
+    let (vgs, vds) = batch_lanes(4096);
+    let par = carbon_devices::batch::par_ids_soa(&table, &vgs, &vds);
+    let mut digest = carbon_bench::Fnv::new();
+    for v in &par {
+        digest.write_f64(*v);
+    }
+    println!(
+        "batch model=table_par lanes={} digest={:016x}",
+        par.len(),
+        digest.finish()
+    );
+
+    // The adaptive campaign: devices, rounds, and CI must be identical
+    // at every `CARBON_THREADS`.
+    let campaign = carbon_fab::VariabilityModel::park_experiment().sample_population_adaptive(
+        &carbon_runtime::Executor::new(),
+        2014,
+        // Tight enough to need several growth rounds, so the chunk
+        // extension path is actually exercised.
+        0.01,
+        100_000,
+    );
+    let mut digest = carbon_bench::Fnv::new();
+    for vt in campaign.population.thresholds() {
+        digest.write_f64(vt);
+    }
+    for ion in campaign.population.on_currents() {
+        digest.write_f64(ion);
+    }
+    println!(
+        "batch adaptive devices={} rounds={} converged={} ci_half_width={} digest={:016x}",
+        campaign.population.len(),
+        campaign.rounds,
+        campaign.converged,
+        campaign.ci_half_width,
+        digest.finish()
+    );
     ExitCode::SUCCESS
 }
 

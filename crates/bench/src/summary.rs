@@ -202,6 +202,82 @@ pub fn summarize(text: &str) -> TraceSummary {
     TraceSummary { stats, skipped }
 }
 
+/// Folds a span tree into flamegraph-style folded stacks.
+///
+/// Each output line is `root;child;grandchild <self_ns>` — the span's
+/// name path from its outermost ancestor, and the total time spent in
+/// spans with that path *excluding* time inside their child spans
+/// (flamegraph "self" semantics, in nanoseconds). Lines are sorted by
+/// path, so the output is deterministic and feeds directly into
+/// `flamegraph.pl` / `inferno-flamegraph`.
+///
+/// Spans whose recorded parent id is absent from the trace (e.g. a
+/// truncated capture) root their own stack; parent chains are
+/// depth-capped defensively. Instants and counters are ignored.
+pub fn folded(text: &str) -> String {
+    struct SpanRec {
+        name: String,
+        parent: Option<u64>,
+        dur: u64,
+        child_ns: u64,
+    }
+    let mut spans: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if string_field(line, "ev").as_deref() != Some("span") {
+            continue;
+        }
+        let (Some(name), Some(id), Some(dur)) = (
+            string_field(line, "name"),
+            u64_field(line, "id"),
+            u64_field(line, "dur_ns"),
+        ) else {
+            continue;
+        };
+        spans.insert(
+            id,
+            SpanRec {
+                name,
+                parent: u64_field(line, "parent"),
+                dur,
+                child_ns: 0,
+            },
+        );
+    }
+    let child_durs: Vec<(u64, u64)> = spans
+        .values()
+        .filter_map(|s| s.parent.map(|p| (p, s.dur)))
+        .collect();
+    for (parent, dur) in child_durs {
+        if let Some(rec) = spans.get_mut(&parent) {
+            rec.child_ns += dur;
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in spans.values() {
+        let mut path = vec![rec.name.as_str()];
+        let mut cursor = rec.parent;
+        // Depth cap against malformed traces with parent cycles.
+        for _ in 0..64 {
+            let Some(parent) = cursor.and_then(|id| spans.get(&id)) else {
+                break;
+            };
+            path.push(parent.name.as_str());
+            cursor = parent.parent;
+        }
+        path.reverse();
+        *stacks.entry(path.join(";")).or_insert(0) += rec.dur.saturating_sub(rec.child_ns);
+    }
+    let mut out = String::new();
+    for (path, self_ns) in stacks {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +344,43 @@ mod tests {
         let summary = summarize("{\"ev\":\"mystery\",\"name\":\"x\"}\nnot json\n");
         assert_eq!(summary.skipped, 2);
         assert!(summary.stats.is_empty());
+    }
+
+    #[test]
+    fn folded_stacks_report_self_time_per_path() {
+        // root(1000) -> inner(600) -> leaf(100); second root(50); and a
+        // span whose parent is missing from the capture.
+        let trace = concat!(
+            "{\"ev\":\"span\",\"name\":\"leaf\",\"id\":3,\"parent\":2,\"thread\":1,",
+            "\"start_ns\":20,\"dur_ns\":100,\"fields\":{}}\n",
+            "{\"ev\":\"span\",\"name\":\"inner\",\"id\":2,\"parent\":1,\"thread\":1,",
+            "\"start_ns\":10,\"dur_ns\":600,\"fields\":{}}\n",
+            "{\"ev\":\"span\",\"name\":\"root\",\"id\":1,\"thread\":1,",
+            "\"start_ns\":0,\"dur_ns\":1000,\"fields\":{}}\n",
+            "{\"ev\":\"span\",\"name\":\"root\",\"id\":4,\"thread\":1,",
+            "\"start_ns\":2000,\"dur_ns\":50,\"fields\":{}}\n",
+            "{\"ev\":\"span\",\"name\":\"orphan\",\"id\":9,\"parent\":77,\"thread\":2,",
+            "\"start_ns\":0,\"dur_ns\":5,\"fields\":{}}\n",
+            "{\"ev\":\"instant\",\"name\":\"noise\",\"thread\":1,\"at_ns\":1,\"fields\":{}}\n",
+            "{\"ev\":\"counter\",\"name\":\"noise\",\"delta\":3,\"thread\":1}\n",
+        );
+        let out = folded(trace);
+        assert_eq!(
+            out,
+            "orphan 5\nroot 450\nroot;inner 500\nroot;inner;leaf 100\n"
+        );
+    }
+
+    #[test]
+    fn folded_merges_repeated_paths() {
+        let trace = concat!(
+            "{\"ev\":\"span\",\"name\":\"work\",\"id\":1,\"thread\":1,",
+            "\"start_ns\":0,\"dur_ns\":10,\"fields\":{}}\n",
+            "{\"ev\":\"span\",\"name\":\"work\",\"id\":2,\"thread\":1,",
+            "\"start_ns\":20,\"dur_ns\":30,\"fields\":{}}\n",
+        );
+        assert_eq!(folded(trace), "work 40\n");
+        assert_eq!(folded(""), "");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 pub mod alpha_power;
 pub mod ballistic;
+pub mod batch;
 pub mod linear_gnr;
 pub mod metrics;
 pub mod series;
@@ -38,6 +39,7 @@ pub mod tfet;
 
 pub use alpha_power::AlphaPowerFet;
 pub use ballistic::BallisticFet;
+pub use batch::BatchEval;
 pub use linear_gnr::LinearGnrFet;
 pub use metrics::IvCurve;
 pub use series::SeriesResistance;
@@ -58,9 +60,11 @@ pub enum Polarity {
 /// A transistor compact model.
 ///
 /// `Fet` extends [`carbon_spice::FetCurve`] (which supplies the raw
-/// `ids(vgs, vds)` evaluation used inside circuit simulation) with a
+/// `ids(vgs, vds)` evaluation used inside circuit simulation) and
+/// [`BatchEval`] (the structure-of-arrays batch layer — the defaults
+/// give every model a correct, bit-identical batched path) with a
 /// typed, quantity-based API for device-level experiments.
-pub trait Fet: carbon_spice::FetCurve + Send + Sync {
+pub trait Fet: BatchEval + Send + Sync {
     /// Channel polarity.
     fn polarity(&self) -> Polarity;
 
@@ -78,23 +82,26 @@ pub trait Fet: carbon_spice::FetCurve + Send + Sync {
     /// Transfer characteristic `I_D(V_GS)` at fixed `V_DS` over a
     /// uniform grid of `n ≥ 2` points.
     ///
-    /// Bias points are independent, so the grid is evaluated on the
-    /// runtime executor (identical results at any thread count; runs
-    /// inline when called from inside another parallel region).
+    /// Bias points are independent, so the grid goes through the SoA
+    /// batch layer ([`batch::par_ids_soa`]) in fixed chunks on the
+    /// runtime executor: identical results at any thread count, and
+    /// bit-identical to per-point scalar `ids` calls; runs inline when
+    /// called from inside another parallel region.
     ///
     /// # Panics
     ///
     /// Panics if `n < 2`.
     fn transfer(&self, vgs_from: Voltage, vgs_to: Voltage, n: usize, vds: Voltage) -> IvCurve {
         let grid = carbon_band::math::linspace(vgs_from.volts(), vgs_to.volts(), n);
-        let current = carbon_runtime::par_map(grid.len(), |k| self.ids(grid[k], vds.volts()));
+        let vds_lane = vec![vds.volts(); grid.len()];
+        let current = batch::par_ids_soa(self, &grid, &vds_lane);
         IvCurve::new(grid, current)
     }
 
     /// Output characteristic `I_D(V_DS)` at fixed `V_GS` over a uniform
     /// grid of `n ≥ 2` points.
     ///
-    /// Evaluated on the runtime executor, like
+    /// Evaluated through the batch layer, like
     /// [`transfer`](Self::transfer).
     ///
     /// # Panics
@@ -102,7 +109,8 @@ pub trait Fet: carbon_spice::FetCurve + Send + Sync {
     /// Panics if `n < 2`.
     fn output(&self, vds_from: Voltage, vds_to: Voltage, n: usize, vgs: Voltage) -> IvCurve {
         let grid = carbon_band::math::linspace(vds_from.volts(), vds_to.volts(), n);
-        let current = carbon_runtime::par_map(grid.len(), |k| self.ids(vgs.volts(), grid[k]));
+        let vgs_lane = vec![vgs.volts(); grid.len()];
+        let current = batch::par_ids_soa(self, &vgs_lane, &grid);
         IvCurve::new(grid, current)
     }
 }

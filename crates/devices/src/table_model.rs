@@ -77,14 +77,22 @@ impl TableFet {
                 "need at least 4 grid points per axis, got {n_vgs}×{n_vds}"
             )));
         }
-        // Each grid node is an independent (often expensive) model
-        // evaluation — fan the grid out on the runtime executor.
-        let data = carbon_runtime::par_map(n_vgs * n_vds, |k| {
-            let (i, j) = (k / n_vds, k % n_vds);
+        // Each grid row is an independent batch of (often expensive)
+        // model evaluations — fan rows out on the runtime executor and
+        // evaluate each through the inner model's SoA kernel. The grid
+        // expressions are unchanged and the kernel is bit-identical to
+        // scalar `ids`, so the table matches the per-point original.
+        let rows = carbon_runtime::par_map(n_vgs, |i| {
             let vgs = vgs_lo + (vgs_hi - vgs_lo) * i as f64 / (n_vgs - 1) as f64;
-            let vds = vds_lo + (vds_hi - vds_lo) * j as f64 / (n_vds - 1) as f64;
-            inner.ids(vgs, vds)
+            let vgs_lane = vec![vgs; n_vds];
+            let vds_lane: Vec<f64> = (0..n_vds)
+                .map(|j| vds_lo + (vds_hi - vds_lo) * j as f64 / (n_vds - 1) as f64)
+                .collect();
+            let mut row = vec![0.0; n_vds];
+            inner.ids_soa(&vgs_lane, &vds_lane, &mut row);
+            row
         });
+        let data = rows.concat();
         Ok(Self {
             vgs_lo,
             vgs_hi,
@@ -124,48 +132,90 @@ impl carbon_spice::FetCurve for TableFet {
     }
 
     fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
-        assert_eq!(out.len(), bias.len(), "output length must match bias");
+        if !carbon_spice::batch_lanes_match(&[("bias", bias.len()), ("out", out.len())]) {
+            return;
+        }
         // Hoist the grid geometry out of the loop. Every expression
         // mirrors `lookup` exactly (same operands, same order), so each
         // output stays bit-identical to the scalar path — the batch only
         // shares the field loads and window subtractions.
-        let wx = self.vgs_hi - self.vgs_lo;
-        let wy = self.vds_hi - self.vds_lo;
-        let gx = (self.n_vgs - 1) as f64;
-        let gy = (self.n_vds - 1) as f64;
-        let (i_max, j_max) = (self.n_vgs - 2, self.n_vds - 2);
-        let n_vds = self.n_vds;
-        let data = &self.data[..];
+        let (geom, data) = (self.hoisted_geometry(), &self.data[..]);
         for (o, &(vgs, vds)) in out.iter_mut().zip(bias) {
-            let x = ((vgs - self.vgs_lo) / wx * gx).clamp(0.0, gx);
-            let y = ((vds - self.vds_lo) / wy * gy).clamp(0.0, gy);
-            let i0 = (x.floor() as usize).min(i_max);
-            let j0 = (y.floor() as usize).min(j_max);
-            let fx = x - i0 as f64;
-            let fy = y - j0 as f64;
-            let at = |i: usize, j: usize| data[i * n_vds + j];
-            *o = at(i0, j0) * (1.0 - fx) * (1.0 - fy)
-                + at(i0 + 1, j0) * fx * (1.0 - fy)
-                + at(i0, j0 + 1) * (1.0 - fx) * fy
-                + at(i0 + 1, j0 + 1) * fx * fy;
+            *o = geom.lookup(data, vgs, vds);
         }
     }
 
     fn eval(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
         // One batched lookup for the value and the four-point central
-        // difference stencil. `H` and the difference quotients must match
-        // the `FetCurve::gm_gds` default so results stay bit-identical.
-        const H: f64 = 1e-3;
-        let bias = [
-            (vgs, vds),
-            (vgs + H, vds),
-            (vgs - H, vds),
-            (vgs, vds + H),
-            (vgs, vds - H),
-        ];
-        let mut i = [0.0; 5];
-        self.ids_batch(&bias, &mut i);
-        (i[0], (i[1] - i[2]) / (2.0 * H), (i[3] - i[4]) / (2.0 * H))
+        // difference stencil, via the shared SoA routing (bit-identical
+        // to the composed default).
+        crate::batch::eval_via_soa(self, vgs, vds)
+    }
+}
+
+/// The clamp/index geometry of a [`TableFet`] grid, hoisted once per
+/// batch so the lane loops only do interpolation arithmetic.
+#[derive(Clone, Copy)]
+struct HoistedGeometry {
+    vgs_lo: f64,
+    vds_lo: f64,
+    wx: f64,
+    wy: f64,
+    gx: f64,
+    gy: f64,
+    i_max: usize,
+    j_max: usize,
+    n_vds: usize,
+}
+
+impl HoistedGeometry {
+    /// Bilinear lookup mirroring [`TableFet::lookup`] operand-for-
+    /// operand (same order, same clamps), so results are bit-identical
+    /// to the scalar path.
+    #[inline]
+    fn lookup(&self, data: &[f64], vgs: f64, vds: f64) -> f64 {
+        let x = ((vgs - self.vgs_lo) / self.wx * self.gx).clamp(0.0, self.gx);
+        let y = ((vds - self.vds_lo) / self.wy * self.gy).clamp(0.0, self.gy);
+        let i0 = (x.floor() as usize).min(self.i_max);
+        let j0 = (y.floor() as usize).min(self.j_max);
+        let fx = x - i0 as f64;
+        let fy = y - j0 as f64;
+        let at = |i: usize, j: usize| data[i * self.n_vds + j];
+        at(i0, j0) * (1.0 - fx) * (1.0 - fy)
+            + at(i0 + 1, j0) * fx * (1.0 - fy)
+            + at(i0, j0 + 1) * (1.0 - fx) * fy
+            + at(i0 + 1, j0 + 1) * fx * fy
+    }
+}
+
+impl TableFet {
+    #[inline]
+    fn hoisted_geometry(&self) -> HoistedGeometry {
+        HoistedGeometry {
+            vgs_lo: self.vgs_lo,
+            vds_lo: self.vds_lo,
+            wx: self.vgs_hi - self.vgs_lo,
+            wy: self.vds_hi - self.vds_lo,
+            gx: (self.n_vgs - 1) as f64,
+            gy: (self.n_vds - 1) as f64,
+            i_max: self.n_vgs - 2,
+            j_max: self.n_vds - 2,
+            n_vds: self.n_vds,
+        }
+    }
+}
+
+impl crate::batch::BatchEval for TableFet {
+    fn ids_soa(&self, vgs: &[f64], vds: &[f64], out: &mut [f64]) {
+        if !carbon_spice::batch_lanes_match(&[
+            ("vgs", vgs.len()),
+            ("vds", vds.len()),
+            ("out", out.len()),
+        ]) {
+            return;
+        }
+        let (geom, data) = (self.hoisted_geometry(), &self.data[..]);
+        crate::batch::soa_loop(vgs, vds, out, |g, d| geom.lookup(data, g, d));
     }
 }
 

@@ -18,17 +18,26 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
 }
 
-/// The `p`-th percentile (0..=100) by linear interpolation on the sorted
-/// data.
+/// Sorts samples ascending, the precondition for
+/// [`percentile_sorted`].
 ///
 /// # Panics
 ///
-/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty(), "percentile of empty data");
+/// Panics on NaN (non-totally-ordered) data.
+pub fn sort_samples(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation on data that
+/// is already sorted ascending (see [`sort_samples`]). Sort once, then
+/// read as many percentiles as needed without re-sorting.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -38,6 +47,22 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         let f = rank - lo as f64;
         sorted[lo] * (1.0 - f) + sorted[hi] * f
     }
+}
+
+/// The `p`-th percentile (0..=100) by linear interpolation on the sorted
+/// data.
+///
+/// Clones and sorts on every call; when reading several percentiles of
+/// the same data, use [`sort_samples`] + [`percentile_sorted`] instead.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty data");
+    let mut sorted = xs.to_vec();
+    sort_samples(&mut sorted);
+    percentile_sorted(&sorted, p)
 }
 
 /// Histogram with `bins` equal-width bins over `[lo, hi]`; returns bin
@@ -85,6 +110,16 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_rejects_empty() {
         let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0];
+        let mut sorted = xs.to_vec();
+        sort_samples(&mut sorted);
+        for p in [0.0, 5.0, 25.0, 50.0, 77.7, 95.0, 100.0] {
+            assert_eq!(percentile_sorted(&sorted, p), percentile(&xs, p));
+        }
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub const JOB_KINDS: [&str; 7] = [
 /// can demand.
 pub const MAX_AC_POINTS: usize = 100_000;
 
+/// Largest accepted `max_devices` for the adaptive fig7 campaign.
+/// Bounds the work a single request can demand.
+pub const MAX_CAMPAIGN_DEVICES: usize = 1_000_000;
+
 /// Errors from job validation and execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobError {
@@ -155,8 +159,17 @@ pub enum Job {
     Fig2,
     /// The Fig. 5 CNT benchmarking experiment.
     Fig5,
-    /// The §V variability-statistics experiment.
-    Fig7,
+    /// The §V variability-statistics experiment. Parameterless by
+    /// default (the fixed 10,000-device campaign); an optional
+    /// `target_ci` switches to adaptive sizing, with `max_devices`
+    /// capping the growth.
+    Fig7 {
+        /// Target 95 % CI half-width on the functional yield;
+        /// `None` runs the fixed campaign.
+        target_ci: Option<f64>,
+        /// Device cap for the adaptive campaign.
+        max_devices: Option<usize>,
+    },
 }
 
 impl Job {
@@ -169,7 +182,7 @@ impl Job {
             Self::Transient { .. } => "transient",
             Self::Fig2 => "fig2",
             Self::Fig5 => "fig5",
-            Self::Fig7 => "fig7",
+            Self::Fig7 { .. } => "fig7",
         }
     }
 
@@ -279,7 +292,45 @@ impl Job {
             }
             "fig2" => Ok(Self::Fig2),
             "fig5" => Ok(Self::Fig5),
-            "fig7" => Ok(Self::Fig7),
+            "fig7" => {
+                let target_ci = match job.get("target_ci") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_f64()
+                            .filter(|t| t.is_finite() && *t > 0.0 && *t < 1.0)
+                            .ok_or_else(|| {
+                                JobError::invalid("job.target_ci must be a number in (0, 1)")
+                            })?,
+                    ),
+                };
+                let max_devices = match job.get("max_devices") {
+                    None => None,
+                    Some(v) => {
+                        // Like transient options without the adaptive
+                        // method: a cap on a fixed-size campaign would
+                        // be silently ignored, so reject it.
+                        if target_ci.is_none() {
+                            return Err(JobError::invalid(
+                                "job.max_devices is only accepted with job.target_ci",
+                            ));
+                        }
+                        let m = v
+                            .as_u64()
+                            .filter(|m| *m > 0 && *m <= MAX_CAMPAIGN_DEVICES as u64)
+                            .ok_or_else(|| {
+                                JobError::invalid(format!(
+                                    "job.max_devices must be a positive integer at most \
+                                     {MAX_CAMPAIGN_DEVICES}"
+                                ))
+                            })?;
+                        Some(m as usize)
+                    }
+                };
+                Ok(Self::Fig7 {
+                    target_ci,
+                    max_devices,
+                })
+            }
             other => Err(JobError::invalid(format!(
                 "unknown job.kind '{other}': valid kinds are {}",
                 JOB_KINDS.join(", ")
@@ -381,7 +432,18 @@ impl Job {
             }
             Self::Fig2 => figure_result(carbon_core::jobs::fig2_report()),
             Self::Fig5 => figure_result(carbon_core::jobs::fig5_report()),
-            Self::Fig7 => figure_result(carbon_core::jobs::fig7_report()),
+            // No target: the fixed campaign, byte-identical to the
+            // historical parameterless response.
+            Self::Fig7 {
+                target_ci: None, ..
+            } => figure_result(carbon_core::jobs::fig7_report()),
+            Self::Fig7 {
+                target_ci: Some(target),
+                max_devices,
+            } => figure_result(carbon_core::jobs::fig7_report_adaptive(
+                *target,
+                max_devices.unwrap_or(carbon_core::fig7_stats::ADAPTIVE_MAX_DEFAULT),
+            )),
         }
     }
 }
@@ -764,6 +826,79 @@ mod tests {
         )
         .unwrap();
         assert!(ok.run().is_ok());
+    }
+
+    #[test]
+    fn fig7_campaign_fields_are_validated() {
+        // target_ci must be a number in (0, 1).
+        for bad in ["0.0", "1.0", "-0.1", "\"tight\""] {
+            let err = Job::from_json(&job(&format!("{{\"kind\":\"fig7\",\"target_ci\":{bad}}}")))
+                .unwrap_err();
+            assert!(
+                matches!(&err, JobError::Invalid { reason } if reason.contains("job.target_ci")),
+                "for {bad}: {err:?}"
+            );
+        }
+        // max_devices without target_ci would be silently ignored.
+        let err = Job::from_json(&job("{\"kind\":\"fig7\",\"max_devices\":5000}")).unwrap_err();
+        assert!(
+            matches!(&err, JobError::Invalid { reason }
+                if reason.contains("job.max_devices") && reason.contains("job.target_ci")),
+            "{err:?}"
+        );
+        // max_devices bounds.
+        for bad in ["0", "2000000", "-5", "1.5"] {
+            let err = Job::from_json(&job(&format!(
+                "{{\"kind\":\"fig7\",\"target_ci\":0.02,\"max_devices\":{bad}}}"
+            )))
+            .unwrap_err();
+            assert!(
+                matches!(&err, JobError::Invalid { reason } if reason.contains("job.max_devices")),
+                "for {bad}: {err:?}"
+            );
+        }
+        // Valid shapes parse.
+        assert!(matches!(
+            Job::from_json(&job("{\"kind\":\"fig7\"}")).unwrap(),
+            Job::Fig7 {
+                target_ci: None,
+                max_devices: None
+            }
+        ));
+        assert!(matches!(
+            Job::from_json(&job(
+                "{\"kind\":\"fig7\",\"target_ci\":0.02,\"max_devices\":50000}"
+            ))
+            .unwrap(),
+            Job::Fig7 {
+                target_ci: Some(_),
+                max_devices: Some(50_000)
+            }
+        ));
+    }
+
+    #[test]
+    fn adaptive_fig7_job_reports_campaign_scalars() {
+        let result = Job::from_json(&job("{\"kind\":\"fig7\",\"target_ci\":0.02}"))
+            .unwrap()
+            .run()
+            .unwrap();
+        let scalars = result.get("scalars").unwrap();
+        for name in ["functional_yield", "devices", "rounds", "ci_half_width"] {
+            assert!(scalars.get(name).is_some(), "missing scalar {name}");
+        }
+        assert_eq!(
+            scalars.get("converged").and_then(Json::as_f64),
+            Some(1.0),
+            "0.02 is reachable well before the default cap"
+        );
+        // The parameterless job keeps its historical shape: no
+        // campaign-sizing scalars.
+        let fixed = Job::from_json(&job("{\"kind\":\"fig7\"}"))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(fixed.get("scalars").unwrap().get("devices").is_none());
     }
 
     #[test]

@@ -52,8 +52,13 @@ pub trait FetCurve: Send + Sync {
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `out.len() != bias.len()`.
+    /// Panics per [`batch_lanes_match`] when `out.len() != bias.len()`;
+    /// empty batches return immediately. Every implementation (and the
+    /// SoA layer in `carbon-devices`) shares that one contract.
     fn ids_batch(&self, bias: &[(f64, f64)], out: &mut [f64]) {
+        if !batch_lanes_match(&[("bias", bias.len()), ("out", out.len())]) {
+            return;
+        }
         for (o, &(vgs, vds)) in out.iter_mut().zip(bias) {
             *o = self.ids(vgs, vds);
         }
@@ -72,6 +77,36 @@ pub trait FetCurve: Send + Sync {
         let (gm, gds) = self.gm_gds(vgs, vds);
         (id, gm, gds)
     }
+}
+
+/// The shared length contract for every batched device-evaluation entry
+/// point: all lanes (`bias`/`out` for [`FetCurve::ids_batch`], the
+/// `vgs`/`vds`/parameter/output lanes of the SoA layer in
+/// `carbon-devices`) must have the same length, and an empty batch is a
+/// no-op.
+///
+/// Returns `false` when the (matching) lanes are empty — the caller's
+/// zero-length fast path — and panics with a named-field message on the
+/// first mismatched lane. Implementations call this instead of ad-hoc
+/// `assert_eq!` so the panic text is identical everywhere.
+///
+/// # Panics
+///
+/// Panics if any lane's length differs from the first lane's, naming
+/// both fields, e.g. `batch lane length mismatch: bias.len() = 5 but
+/// out.len() = 4 (all lanes must match)`.
+#[inline]
+#[track_caller]
+pub fn batch_lanes_match(lanes: &[(&str, usize)]) -> bool {
+    let (first_name, first_len) = lanes[0];
+    for &(name, len) in &lanes[1..] {
+        assert!(
+            len == first_len,
+            "batch lane length mismatch: {first_name}.len() = {first_len} but \
+             {name}.len() = {len} (all lanes must match)"
+        );
+    }
+    first_len != 0
 }
 
 impl<T: FetCurve + ?Sized> FetCurve for Arc<T> {
@@ -281,6 +316,27 @@ mod tests {
         let (gm1, gd1) = m.gm_gds(0.5, 0.5);
         let (gm2, gd2) = QuadraticFet.gm_gds(0.5, 0.5);
         assert_eq!((gm1, gd1), (gm2, gd2));
+    }
+
+    #[test]
+    fn ids_batch_empty_is_noop() {
+        let m = QuadraticFet;
+        let mut out: [f64; 0] = [];
+        m.ids_batch(&[], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch lane length mismatch: bias.len() = 2 but out.len() = 1")]
+    fn ids_batch_length_mismatch_names_fields() {
+        let m = QuadraticFet;
+        let mut out = [0.0];
+        m.ids_batch(&[(0.5, 0.5), (0.6, 0.6)], &mut out);
+    }
+
+    #[test]
+    fn batch_lanes_match_accepts_equal_lanes() {
+        assert!(batch_lanes_match(&[("a", 3), ("b", 3), ("c", 3)]));
+        assert!(!batch_lanes_match(&[("a", 0), ("b", 0)]));
     }
 
     #[test]

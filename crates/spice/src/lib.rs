@@ -56,7 +56,7 @@ pub mod waveform;
 pub use analysis::ac::{AcMethod, AcResult};
 pub use analysis::{OpResult, SweepOptions, SweepResult, TranMethod, TranOptions, TranResult};
 pub use complex::Complex;
-pub use element::FetCurve;
+pub use element::{batch_lanes_match, FetCurve};
 pub use error::SpiceError;
 pub use netlist::{Circuit, NodeId};
 pub use waveform::Waveform;
