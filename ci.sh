@@ -135,6 +135,7 @@ done
 # structured busy responses (not errors, not stalls), and emit
 # serve.request spans that trace-summary can aggregate.
 run cargo clippy --offline -p carbon-json --all-targets -- -D warnings
+run cargo clippy --offline -p carbon-metrics --all-targets -- -D warnings
 run cargo clippy --offline -p carbon-serve --all-targets -- -D warnings
 echo "==> serve smoke: mixed load digest byte-identity across thread counts"
 ref_digest=""
@@ -162,13 +163,40 @@ busy_count=$(grep -o 'busy [0-9]*' "$trace_dir/serve-busy.log" | head -1 | cut -
   || { echo "tight queue produced no busy responses"; cat "$trace_dir/serve-busy.log"; exit 1; }
 echo "==> serve smoke: serve.request spans aggregate through trace-summary"
 CARBON_THREADS=2 CARBON_TRACE="$trace_dir/serve-trace.jsonl" "$bench_bin" serve-load \
-  --connections 4 --jobs 100 --queue-depth 128 > /dev/null 2>&1 \
+  --connections 4 --jobs 100 --queue-depth 128 \
+  > "$trace_dir/serve-rows.jsonl" 2> /dev/null \
   || { echo "traced serve-load failed"; exit 1; }
 "$bench_bin" trace-summary "$trace_dir/serve-trace.jsonl" > "$trace_dir/serve-summary.jsonl"
 grep -q '"id":"trace/serve.request/dur_ns"' "$trace_dir/serve-summary.jsonl" \
   || { echo "trace summary missing serve.request spans"; exit 1; }
 grep -q '"id":"trace/counter/serve.accepted"' "$trace_dir/serve-summary.jsonl" \
   || { echo "trace summary missing serve.accepted counter"; exit 1; }
+grep -q '"id":"trace/gauge/serve.queue_depth"' "$trace_dir/serve-summary.jsonl" \
+  || { echo "trace summary missing serve.queue_depth gauge"; exit 1; }
+
+# Metrics smoke: the same traced run's compare-JSONL rows carry the
+# server's own `stats` snapshot. Gate on server-side health: every job
+# admitted, none timed out, one warmup ping per connection, and the
+# per-kind latency histogram totals accounting for every admission.
+echo "==> metrics smoke: stats snapshot accounts for every job"
+row_val() {
+  grep "\"id\":\"$1\"" "$trace_dir/serve-rows.jsonl" | head -1 \
+    | sed 's/.*"median_ns":\([0-9]*\).*/\1/'
+}
+accepted=$(row_val 'serve/stats/serve.accepted')
+timed_out=$(row_val 'serve/stats/serve.timed_out')
+pings=$(row_val 'serve/stats/serve.ping')
+[[ "${accepted:-0}" -eq 100 ]] \
+  || { echo "stats snapshot: expected 100 accepted, got '${accepted:-}'"; exit 1; }
+[[ "${timed_out:-1}" -eq 0 ]] \
+  || { echo "stats snapshot: ${timed_out:-?} job(s) timed out"; exit 1; }
+[[ "${pings:-0}" -eq 4 ]] \
+  || { echo "stats snapshot: expected 4 warmup pings, got '${pings:-}'"; exit 1; }
+lat_total=$(grep '"id":"serve/stats/serve\.latency_ns\.[a-z0-9_]*/count"' \
+    "$trace_dir/serve-rows.jsonl" \
+  | sed 's/.*"median_ns":\([0-9]*\).*/\1/' | awk '{s+=$1} END {print s+0}')
+[[ "$lat_total" -eq "$accepted" ]] \
+  || { echo "latency histogram totals ($lat_total) != accepted ($accepted)"; exit 1; }
 
 # Opt-in benchmark regression gate: measure the solver, transient, and
 # device-batch groups for real and diff them against the committed baselines,

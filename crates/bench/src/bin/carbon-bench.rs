@@ -50,6 +50,8 @@
 //! `serve-load` starts an in-process carbon-serve server on loopback
 //! and drives it with a deterministic mixed job load; latency rows go
 //! to stdout in the compare-JSONL schema, the human summary to stderr.
+//! The rows include the server's own `stats` snapshot (flattened as
+//! `serve/stats/*`), which `ci.sh` gates on for server-side health.
 //! `--digest` appends an FNV-1a 64 digest of the id-sorted response
 //! bodies, which `ci.sh` diffs across `CARBON_THREADS`.
 

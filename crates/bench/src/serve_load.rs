@@ -13,6 +13,13 @@
 //! at the service boundary, so `ci.sh` diffs this digest across
 //! `CARBON_THREADS` values to catch any scheduling leak into the wire
 //! format.
+//!
+//! Each connection sends one `ping` warmup before its timed jobs (never
+//! sampled or digested), and after the load drains a fresh client pulls
+//! the server's `stats` snapshot; its counters, gauges, and histogram
+//! percentiles land in the JSONL as `serve/stats/*` rows so CI can gate
+//! on server-side health (accepted > 0, timed_out == 0, histogram
+//! totals matching job counts).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -76,6 +83,8 @@ pub struct LoadReport {
     pub busy: u64,
     /// Count of responses that were neither `ok` nor `busy`.
     pub failed: u64,
+    /// Jobs the server timed out (from the server's own counters).
+    pub timed_out: u64,
 }
 
 /// The deterministic mixed distribution: job `i`'s request body.
@@ -168,6 +177,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
                 scope.spawn(move || -> Result<Vec<Sample>, String> {
                     let mut client = Client::connect(addr)
                         .map_err(|e| format!("connection {c}: connect failed: {e}"))?;
+                    warmup(&mut client, c)?;
                     (c..jobs)
                         .step_by(connections)
                         .map(|i| one_call(&mut client, i))
@@ -182,6 +192,7 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
             .map(|per_conn| per_conn.into_iter().flatten().collect())
     })?;
     let elapsed = started.elapsed();
+    let stats_snapshot = fetch_stats(addr)?;
     let stats = server.shutdown();
 
     let mut by_kind: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
@@ -208,6 +219,12 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     if !all.is_empty() {
         jsonl_row(&mut jsonl, "serve/all/latency_ns", &all);
     }
+    // Rejection and deadline counts go out even when zero: CI gates on
+    // `timed_out == 0`, and a row that vanishes on success would read
+    // as missing data rather than a clean run.
+    value_row(&mut jsonl, "serve/rejected_busy", stats.rejected_busy);
+    value_row(&mut jsonl, "serve/timed_out", stats.timed_out);
+    stats_rows(&mut jsonl, &stats_snapshot);
 
     let throughput = samples.len() as f64 / elapsed.as_secs_f64();
     let mut summary = String::new();
@@ -277,7 +294,75 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         digest,
         busy,
         failed,
+        timed_out: stats.timed_out,
     })
+}
+
+/// One `ping` on a fresh connection before its timed jobs: absorbs
+/// connection setup and lazy-init costs outside the measurement
+/// window. Never sampled, never digested.
+fn warmup(client: &mut Client, connection: usize) -> Result<(), String> {
+    let request = Json::obj()
+        .push("id", format!("warmup-{connection}"))
+        .push("job", Json::obj().push("kind", "ping"));
+    let response = client
+        .call(&request)
+        .map_err(|e| format!("connection {connection}: warmup ping failed: {e}"))?;
+    match response.get("status").and_then(Json::as_str) {
+        Some("ok") => Ok(()),
+        _ => Err(format!(
+            "connection {connection}: warmup ping answered {}",
+            response.render()
+        )),
+    }
+}
+
+/// Pulls the server's `stats` snapshot over a fresh connection and
+/// returns the `result` object.
+fn fetch_stats(addr: std::net::SocketAddr) -> Result<Json, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("stats fetch: connect failed: {e}"))?;
+    let request = Json::obj()
+        .push("id", "stats")
+        .push("job", Json::obj().push("kind", "stats"));
+    let response = client
+        .call(&request)
+        .map_err(|e| format!("stats fetch: {e}"))?;
+    if response.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("stats fetch answered {}", response.render()));
+    }
+    response
+        .get("result")
+        .cloned()
+        .ok_or_else(|| "stats response without result".to_owned())
+}
+
+/// Flattens the server's stats snapshot into compare-JSONL rows:
+/// `serve/stats/<name>` for every counter and gauge, and
+/// `serve/stats/<name>/p50|p90|p99|count` for every histogram.
+fn stats_rows(out: &mut String, snapshot: &Json) {
+    for section in ["counters", "gauges"] {
+        if let Some(Json::Obj(fields)) = snapshot.get(section) {
+            for (name, value) in fields {
+                value_row(
+                    out,
+                    &format!("serve/stats/{name}"),
+                    value.as_u64().unwrap_or(0),
+                );
+            }
+        }
+    }
+    if let Some(Json::Obj(fields)) = snapshot.get("histograms") {
+        for (name, hist) in fields {
+            for stat in ["p50", "p90", "p99", "count"] {
+                value_row(
+                    out,
+                    &format!("serve/stats/{name}/{stat}"),
+                    hist.get(stat).and_then(Json::as_u64).unwrap_or(0),
+                );
+            }
+        }
+    }
 }
 
 fn one_call(client: &mut Client, i: usize) -> Result<Sample, String> {
@@ -297,6 +382,16 @@ fn one_call(client: &mut Client, i: usize) -> Result<Sample, String> {
         status,
         body: raw,
     })
+}
+
+/// A single-value row in the compare-JSONL schema: median = min = max
+/// = the value, one iteration. Used for counts and snapshot scalars.
+fn value_row(out: &mut String, id: &str, value: u64) {
+    let _ = writeln!(
+        out,
+        "{{\"id\":\"{}\",\"median_ns\":{value},\"min_ns\":{value},\"max_ns\":{value},\"iters\":1}}",
+        carbon_json::escape(id),
+    );
 }
 
 fn jsonl_row(out: &mut String, id: &str, sorted: &[u64]) {
@@ -371,7 +466,41 @@ mod tests {
         })
         .expect("load run succeeds");
         assert_eq!(report.failed, 0);
+        assert_eq!(report.timed_out, 0);
         assert!(report.jsonl.contains("serve/all/latency_ns"));
         assert!(report.digest.is_some());
+        // Count rows are present even at zero, and the server-side
+        // snapshot is flattened into serve/stats/* rows.
+        assert!(report.jsonl.contains("\"id\":\"serve/rejected_busy\""));
+        assert!(report.jsonl.contains("\"id\":\"serve/timed_out\""));
+        assert!(report
+            .jsonl
+            .contains("\"id\":\"serve/stats/serve.accepted\""));
+        assert!(report
+            .jsonl
+            .contains("\"id\":\"serve/stats/serve.latency_ns.op/p50\""));
+        assert!(report
+            .jsonl
+            .contains("\"id\":\"serve/stats/serve.latency_ns.op/count\""));
+        // The warmup pings were answered but never sampled: 20 jobs
+        // from 2 connections means exactly 20 samples, and the server
+        // counted one ping per connection plus the stats fetch.
+        assert!(report.jsonl.contains("\"id\":\"serve/stats/serve.ping\""));
+        let accepted = row_value(&report.jsonl, "serve/stats/serve.accepted");
+        let ping = row_value(&report.jsonl, "serve/stats/serve.ping");
+        let stats_calls = row_value(&report.jsonl, "serve/stats/serve.stats");
+        assert_eq!(accepted + report.busy, 20);
+        assert_eq!(ping, 2);
+        assert_eq!(stats_calls, 1);
+    }
+
+    /// Extracts `median_ns` from the row with the given id.
+    fn row_value(jsonl: &str, id: &str) -> u64 {
+        let needle = format!("\"id\":\"{id}\"");
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains(&needle))
+            .unwrap_or_else(|| panic!("no row {id}"));
+        carbon_json::u64_field(line, "median_ns").unwrap_or_else(|| panic!("bad row: {line}"))
     }
 }

@@ -130,6 +130,9 @@ pub fn summarize(text: &str) -> TraceSummary {
     let mut span_fields: BTreeMap<(String, String), Vec<u64>> = BTreeMap::new();
     let mut counters: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+    // Gauges keep (last, min, max, count) — set-valued, so summing
+    // observations like a counter would be meaningless.
+    let mut gauges: BTreeMap<String, (u64, u64, u64, u64)> = BTreeMap::new();
     let mut skipped = 0usize;
 
     for line in text.lines() {
@@ -158,6 +161,14 @@ pub fn summarize(text: &str) -> TraceSummary {
                     slot.1 += 1;
                 }
                 "instant" => *instants.entry(name).or_insert(0) += 1,
+                "gauge" => {
+                    let value = u64_field(line, "value")?;
+                    let slot = gauges.entry(name).or_insert((0, u64::MAX, 0, 0));
+                    slot.0 = value;
+                    slot.1 = slot.1.min(value);
+                    slot.2 = slot.2.max(value);
+                    slot.3 += 1;
+                }
                 _ => return None,
             }
             Some(())
@@ -195,6 +206,15 @@ pub fn summarize(text: &str) -> TraceSummary {
             median: hits,
             min: hits,
             max: hits,
+            count: hits,
+        });
+    }
+    for (name, (last, min, max, hits)) in gauges {
+        stats.push(TraceStat {
+            id: format!("trace/gauge/{name}"),
+            median: last,
+            min,
+            max,
             count: hits,
         });
     }
@@ -294,6 +314,9 @@ mod tests {
         "{\"ev\":\"counter\",\"name\":\"spice.sparse.replay\",\"delta\":3,\"thread\":2}\n",
         "{\"ev\":\"instant\",\"name\":\"spice.continuation_halve\",\"thread\":1,",
         "\"at_ns\":50,\"fields\":{\"depth\":1}}\n",
+        "{\"ev\":\"gauge\",\"name\":\"serve.queue_depth\",\"value\":5,\"thread\":1}\n",
+        "{\"ev\":\"gauge\",\"name\":\"serve.queue_depth\",\"value\":2,\"thread\":2}\n",
+        "{\"ev\":\"gauge\",\"name\":\"serve.queue_depth\",\"value\":9,\"thread\":1}\n",
     );
 
     #[test]
@@ -317,6 +340,13 @@ mod tests {
 
         let halvings = by_id["trace/instant/spice.continuation_halve"];
         assert_eq!(halvings.median, 1);
+
+        // Gauges report last/min/max of the observed values.
+        let depth = by_id["trace/gauge/serve.queue_depth"];
+        assert_eq!(
+            (depth.median, depth.min, depth.max, depth.count),
+            (9, 2, 9, 3)
+        );
 
         // Non-integer fields (bool, float, string) are not aggregated.
         assert!(!by_id.contains_key("trace/spice.newton_solve/converged"));

@@ -26,7 +26,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use carbon_trace::span;
+use carbon_metrics::{global_gauge, global_histogram};
+use carbon_trace::{gauge, span};
 
 use crate::rng::Xoshiro256pp;
 
@@ -184,6 +185,10 @@ impl Executor {
         if n == 0 {
             return Vec::new();
         }
+        // Always-on metrics: cached handles into the process-global
+        // registry (one OnceLock load after the first call).
+        let chunk_hist = global_histogram!("runtime.chunk_ns");
+        let inflight = global_gauge!("runtime.inflight_chunks");
         let n_chunks = n.div_ceil(chunk_size);
         let workers = self.threads.min(n_chunks);
         let inline = workers == 1 || IN_WORKER.with(Cell::get);
@@ -204,7 +209,12 @@ impl Executor {
                     chunk_span.record("items", (n - c * chunk_size).min(chunk_size));
                     chunk_span.record("queue", n_chunks - c - 1);
                 }
+                gauge!("runtime.queue", n_chunks - c - 1);
+                inflight.add(1);
+                let started = std::time::Instant::now();
                 work(c * chunk_size, c, &mut out);
+                chunk_hist.record(started.elapsed().as_nanos() as u64);
+                inflight.sub(1);
             }
             return out;
         }
@@ -233,8 +243,13 @@ impl Executor {
                             // one was pulled — a live occupancy gauge.
                             chunk_span.record("queue", n_chunks.saturating_sub(c + 1));
                         }
+                        gauge!("runtime.queue", n_chunks.saturating_sub(c + 1));
+                        inflight.add(1);
+                        let started = std::time::Instant::now();
                         let mut local = Vec::with_capacity(chunk_size);
                         work(c * chunk_size, c, &mut local);
+                        chunk_hist.record(started.elapsed().as_nanos() as u64);
+                        inflight.sub(1);
                         *slots[c].lock().expect("chunk slot poisoned") = local;
                     }
                 });
@@ -440,6 +455,44 @@ mod tests {
                 Value::U64(5)
             ]
         );
+    }
+
+    #[test]
+    fn chunk_metrics_land_in_the_global_registry() {
+        // Counters and histogram counts are monotonic, so deltas are
+        // robust to other tests sharing the global registry.
+        let before = carbon_metrics::global()
+            .histogram("runtime.chunk_ns")
+            .snapshot()
+            .count();
+        for threads in [1, 4] {
+            Executor::with_threads(threads).par_mc(11, 3 * MC_CHUNK, |_, rng| rng.next_f64());
+        }
+        let after = carbon_metrics::global()
+            .histogram("runtime.chunk_ns")
+            .snapshot()
+            .count();
+        assert!(after >= before + 6, "before {before}, after {after}");
+        // In-flight gauge returns to zero once every chunk completed.
+        assert_eq!(
+            carbon_metrics::global()
+                .gauge("runtime.inflight_chunks")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn inline_execution_emits_queue_gauge_events() {
+        use carbon_trace::collect::Collector;
+
+        let collector = Collector::new();
+        carbon_trace::with_subscriber(collector.clone(), || {
+            Executor::with_threads(1).par_mc(42, 3 * MC_CHUNK, |_, rng| rng.next_f64())
+        });
+        // The queue gauge counts down as chunks drain: 2, 1, 0.
+        assert_eq!(collector.gauge_values("runtime.queue"), vec![2, 1, 0]);
+        assert_eq!(collector.gauge_minmax("runtime.queue"), Some((0, 2)));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The job model: what the service runs, validated up front.
 //!
 //! A job arrives as the `"job"` object of a request envelope. Its
-//! `"kind"` selects one of seven shapes:
+//! `"kind"` selects one of nine shapes:
 //!
 //! * circuit analyses on a netlist deck carried in the request —
 //!   `"op"`, `"dc_sweep"`, `"ac_sweep"`, `"transient"`; each names the
@@ -9,7 +9,12 @@
 //!   table ordering;
 //! * paper figure experiments — `"fig2"`, `"fig5"`, `"fig7"` — which
 //!   take no parameters and return the flat scalar reports of
-//!   [`carbon_core::jobs`].
+//!   [`carbon_core::jobs`];
+//! * service introspection — `"ping"` (liveness: version + uptime) and
+//!   `"stats"` (the full metrics-registry snapshot). These are answered
+//!   on the connection thread's admission-free fast path: they never
+//!   enter the bounded queue, so a server saturated with solves still
+//!   answers its health checks.
 //!
 //! [`Job::from_json`] performs the whole validation — unknown kinds are
 //! rejected with the valid choices listed, missing or ill-typed fields
@@ -28,7 +33,23 @@ use carbon_spice::{Circuit, SpiceError, TranMethod, TranOptions};
 
 /// The job kinds the service accepts, in the order error messages list
 /// them.
-pub const JOB_KINDS: [&str; 7] = [
+pub const JOB_KINDS: [&str; 9] = [
+    "op",
+    "dc_sweep",
+    "ac_sweep",
+    "transient",
+    "fig2",
+    "fig5",
+    "fig7",
+    "ping",
+    "stats",
+];
+
+/// The job kinds that travel through the bounded queue to a worker —
+/// everything except the connection-thread fast-path kinds (`ping`,
+/// `stats`). This is the set the server pre-registers latency and
+/// queue-wait histograms for.
+pub const QUEUED_JOB_KINDS: [&str; 7] = [
     "op",
     "dc_sweep",
     "ac_sweep",
@@ -170,6 +191,15 @@ pub enum Job {
         /// Device cap for the adaptive campaign.
         max_devices: Option<usize>,
     },
+    /// Liveness probe: echoes the request `id`, reports crate version
+    /// and server uptime. Answered on the connection fast path — never
+    /// queued, so it cannot be starved by a full queue.
+    Ping,
+    /// Metrics snapshot: the server's registry (per-kind latency and
+    /// queue-wait histograms with p50/p90/p99, counters, gauges) merged
+    /// with the process-global registry. Answered on the connection
+    /// fast path.
+    Stats,
 }
 
 impl Job {
@@ -183,7 +213,15 @@ impl Job {
             Self::Fig2 => "fig2",
             Self::Fig5 => "fig5",
             Self::Fig7 { .. } => "fig7",
+            Self::Ping => "ping",
+            Self::Stats => "stats",
         }
+    }
+
+    /// Whether this job is answered on the connection thread's
+    /// admission-free fast path instead of the bounded queue.
+    pub fn is_fast_path(&self) -> bool {
+        matches!(self, Self::Ping | Self::Stats)
     }
 
     /// Validates the `"job"` object of a request.
@@ -292,6 +330,8 @@ impl Job {
             }
             "fig2" => Ok(Self::Fig2),
             "fig5" => Ok(Self::Fig5),
+            "ping" => Ok(Self::Ping),
+            "stats" => Ok(Self::Stats),
             "fig7" => {
                 let target_ci = match job.get("target_ci") {
                     None => None,
@@ -444,6 +484,16 @@ impl Job {
                 *target,
                 max_devices.unwrap_or(carbon_core::fig7_stats::ADAPTIVE_MAX_DEFAULT),
             )),
+            // Fast-path kinds need server context (uptime, the server's
+            // metrics registry) and are answered by the connection
+            // thread before admission; a worker can never see them.
+            Self::Ping | Self::Stats => Err(JobError::Exec {
+                message: format!(
+                    "'{}' is answered on the server's connection fast path, \
+                     not by a worker",
+                    self.kind()
+                ),
+            }),
         }
     }
 }
@@ -614,6 +664,31 @@ mod tests {
         for kind in JOB_KINDS {
             assert!(reason.contains(kind), "missing {kind} in {reason}");
         }
+    }
+
+    #[test]
+    fn fast_path_kinds_parse_but_never_run_on_workers() {
+        for kind in ["ping", "stats"] {
+            let parsed = Job::from_json(&job(&format!("{{\"kind\":\"{kind}\"}}"))).unwrap();
+            assert_eq!(parsed.kind(), kind);
+            assert!(parsed.is_fast_path());
+            let err = parsed.run().unwrap_err();
+            assert!(
+                matches!(&err, JobError::Exec { message } if message.contains("fast path")),
+                "{err:?}"
+            );
+        }
+        // Every queued kind is a listed kind, and the fast-path kinds
+        // are exactly the difference.
+        for kind in QUEUED_JOB_KINDS {
+            assert!(JOB_KINDS.contains(&kind));
+        }
+        let fast: Vec<&str> = JOB_KINDS
+            .iter()
+            .filter(|k| !QUEUED_JOB_KINDS.contains(k))
+            .copied()
+            .collect();
+        assert_eq!(fast, ["ping", "stats"]);
     }
 
     #[test]

@@ -9,22 +9,33 @@
 //!
 //! - [`protocol`] — frame reader/writer and the request/response envelope;
 //! - [`job`] — the job model (`op`, `dc_sweep`, `ac_sweep`, `transient`,
-//!   `fig2`, `fig5`, `fig7`) with up-front validation and deterministic
-//!   result rendering;
+//!   `fig2`, `fig5`, `fig7`, plus the fast-path `ping` and `stats`) with
+//!   up-front validation and deterministic result rendering;
 //! - [`queue`] — bounded MPMC job queue with admission control;
-//! - [`server`] — acceptor + worker pool with graceful drain shutdown;
+//! - [`server`] — acceptor + worker pool with graceful drain shutdown,
+//!   plus the admission-free fast path answering `ping`/`stats` on the
+//!   connection thread;
 //! - [`client`] — a minimal blocking client used by tests and the
 //!   `carbon-bench serve-load` load generator.
+//!
+//! Every server also owns an always-on `carbon-metrics` registry
+//! (per-kind latency and queue-wait histograms, admission counters,
+//! queue gauges) exposed through the `stats` job kind.
 //!
 //! # Determinism at the service boundary
 //!
 //! For a given request body, the response body is byte-identical
 //! regardless of worker count, connection count, or arrival order: jobs
 //! run on the deterministic executor, responses carry no timestamps, and
-//! floats are rendered with Rust's shortest-round-trip formatter.
+//! floats are rendered with Rust's shortest-round-trip formatter. The
+//! fast-path kinds (`ping`, `stats`) are the deliberate exception: they
+//! report uptime and latency aggregates, which is operational state,
+//! not simulation output. Metrics recording itself never feeds back
+//! into any queued job's response bytes.
 
 pub mod client;
 pub mod job;
+mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;

@@ -42,7 +42,7 @@
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +52,7 @@ use carbon_json::Json;
 use carbon_runtime::CancelToken;
 
 use crate::job::{Job, JobError};
+use crate::metrics::ServeMetrics;
 use crate::protocol::{write_frame, FrameError, MAX_FRAME_LEN};
 use crate::queue::Bounded;
 
@@ -103,31 +104,6 @@ pub struct ServerStats {
     pub protocol_errors: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    accepted: AtomicU64,
-    rejected_busy: AtomicU64,
-    timed_out: AtomicU64,
-    completed: AtomicU64,
-    errored: AtomicU64,
-    protocol_errors: AtomicU64,
-}
-
-impl Counters {
-    fn snapshot(&self) -> ServerStats {
-        ServerStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            errored: self.errored.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// An admitted job travelling from a connection thread to a worker.
 struct Ticket {
     /// The request's `id`, echoed verbatim into the response.
@@ -145,7 +121,7 @@ pub struct Server {
     addr: SocketAddr,
     queue: Arc<Bounded<Ticket>>,
     shutdown: Arc<AtomicBool>,
-    counters: Arc<Counters>,
+    metrics: Arc<ServeMetrics>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     config: ServerConfig,
@@ -164,23 +140,26 @@ impl Server {
         let addr = listener.local_addr()?;
         let queue = Arc::new(Bounded::new(config.queue_depth));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
+        // Every instrument is pre-registered here, so the `stats`
+        // snapshot has the same structure on a fresh server as on a
+        // loaded one.
+        let metrics = Arc::new(ServeMetrics::new(config.workers.max(1), config.queue_depth));
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                let counters = Arc::clone(&counters);
-                std::thread::spawn(move || worker_loop(&queue, &counters))
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || worker_loop(&queue, &metrics))
             })
             .collect();
 
         let acceptor = {
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
-            let counters = Arc::clone(&counters);
+            let metrics = Arc::clone(&metrics);
             let default_timeout_ms = config.default_timeout_ms;
             std::thread::spawn(move || {
-                accept_loop(&listener, &queue, &shutdown, &counters, default_timeout_ms);
+                accept_loop(&listener, &queue, &shutdown, &metrics, default_timeout_ms);
             })
         };
 
@@ -188,7 +167,7 @@ impl Server {
             addr,
             queue,
             shutdown,
-            counters,
+            metrics,
             acceptor: Some(acceptor),
             workers,
             config,
@@ -207,7 +186,7 @@ impl Server {
 
     /// A snapshot of the lifetime counters.
     pub fn stats(&self) -> ServerStats {
-        self.counters.snapshot()
+        self.metrics.server_stats()
     }
 
     /// Graceful drain: stop accepting, finish in-flight requests,
@@ -215,7 +194,7 @@ impl Server {
     /// counters.
     pub fn shutdown(mut self) -> ServerStats {
         self.drain();
-        self.counters.snapshot()
+        self.metrics.server_stats()
     }
 
     fn drain(&mut self) {
@@ -242,7 +221,7 @@ fn accept_loop(
     listener: &TcpListener,
     queue: &Arc<Bounded<Ticket>>,
     shutdown: &Arc<AtomicBool>,
-    counters: &Arc<Counters>,
+    metrics: &Arc<ServeMetrics>,
     default_timeout_ms: Option<u64>,
 ) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
@@ -252,12 +231,12 @@ fn accept_loop(
                 // Responses are single small frames; Nagle + delayed
                 // ACK would add ~40 ms to every request.
                 let _ = stream.set_nodelay(true);
-                counters.connections.fetch_add(1, Ordering::Relaxed);
+                metrics.connections.incr();
                 let queue = Arc::clone(queue);
                 let shutdown = Arc::clone(shutdown);
-                let counters = Arc::clone(counters);
+                let metrics = Arc::clone(metrics);
                 connections.push(std::thread::spawn(move || {
-                    connection_loop(stream, &queue, &shutdown, &counters, default_timeout_ms);
+                    connection_loop(stream, &queue, &shutdown, &metrics, default_timeout_ms);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -278,7 +257,7 @@ fn connection_loop(
     mut stream: TcpStream,
     queue: &Bounded<Ticket>,
     shutdown: &AtomicBool,
-    counters: &Counters,
+    metrics: &ServeMetrics,
     default_timeout_ms: Option<u64>,
 ) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
@@ -290,15 +269,54 @@ fn connection_loop(
             Ok(None) | Err(_) => return,
         };
         let response = match parse_envelope(&body, default_timeout_ms) {
-            Ok((id, job, timeout_ms)) => dispatch(id, job, timeout_ms, queue, counters),
+            // ping/stats are answered here, on the connection thread,
+            // before admission — a full queue cannot starve them.
+            Ok((id, job, _)) if job.is_fast_path() => fast_path_response(&id, &job, queue, metrics),
+            Ok((id, job, timeout_ms)) => dispatch(id, job, timeout_ms, queue, metrics),
             Err(resp) => {
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.protocol_errors.incr();
                 resp
             }
         };
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
+    }
+}
+
+/// Answers the admission-free kinds (`ping`, `stats`) directly on the
+/// connection thread. These responses intentionally carry timing
+/// (uptime, latency aggregates) — they are operational introspection,
+/// not simulation results, and are excluded from the byte-identity
+/// contract the queued kinds keep.
+fn fast_path_response(
+    id: &Json,
+    job: &Job,
+    queue: &Bounded<Ticket>,
+    metrics: &ServeMetrics,
+) -> Vec<u8> {
+    match job {
+        Job::Ping => {
+            metrics.ping.incr();
+            let result = Json::obj()
+                .push("version", env!("CARGO_PKG_VERSION"))
+                .push("uptime_ms", metrics.uptime_ms());
+            ok_response(id, "ping", &result)
+        }
+        Job::Stats => {
+            metrics.stats.incr();
+            let (uptime_ms, snapshot) = metrics.merged_snapshot(queue.depth());
+            let mut result = Json::obj().push("uptime_ms", uptime_ms);
+            // Splice the snapshot's fixed-order sections (counters,
+            // gauges, histograms) into the result object.
+            if let Json::Obj(sections) = snapshot.to_json() {
+                for (key, value) in sections {
+                    result = result.push(&key, value);
+                }
+            }
+            ok_response(id, "stats", &result)
+        }
+        _ => unreachable!("fast_path_response called for a queued job kind"),
     }
 }
 
@@ -353,7 +371,7 @@ fn dispatch(
     job: Job,
     timeout_ms: Option<u64>,
     queue: &Bounded<Ticket>,
-    counters: &Counters,
+    metrics: &ServeMetrics,
 ) -> Vec<u8> {
     let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel(1);
     let ticket = Ticket {
@@ -365,25 +383,34 @@ fn dispatch(
     };
     match queue.try_push(ticket) {
         Ok(depth) => {
-            counters.accepted.fetch_add(1, Ordering::Relaxed);
+            metrics.accepted.incr();
+            metrics
+                .queue_depth
+                .set(i64::try_from(depth).unwrap_or(i64::MAX));
             carbon_trace::counter!("serve.accepted");
-            carbon_trace::instant!("serve.queue_depth", "depth" = depth);
+            carbon_trace::gauge!("serve.queue_depth", depth);
             resp_rx.recv().unwrap_or_else(|_| {
                 error_response(&id, "exec", "worker dropped the job (server shutting down)")
             })
         }
         Err(_rejected) => {
-            counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            metrics.rejected_busy.incr();
             carbon_trace::counter!("serve.rejected_busy");
             busy_response(&id, queue.depth(), queue.capacity())
         }
     }
 }
 
-fn worker_loop(queue: &Bounded<Ticket>, counters: &Counters) {
+fn worker_loop(queue: &Bounded<Ticket>, metrics: &ServeMetrics) {
     while let Some(ticket) = queue.pop() {
+        metrics
+            .queue_depth
+            .set(i64::try_from(queue.depth()).unwrap_or(i64::MAX));
         let queue_ns = u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let kind = ticket.job.kind();
+        if let Some(hist) = metrics.queue_wait(kind) {
+            hist.record(queue_ns);
+        }
         let mut span = carbon_trace::span!("serve.request");
         if span.is_live() {
             span.record("kind", kind);
@@ -393,22 +420,31 @@ fn worker_loop(queue: &Bounded<Ticket>, counters: &Counters) {
             Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
             None => CancelToken::new(),
         };
+        let exec_started = Instant::now();
         let outcome = carbon_runtime::cancel::scope(&token, || ticket.job.run());
+        metrics
+            .worker_busy_ns
+            .add(u64::try_from(exec_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
         let (status, response) = match outcome {
             Ok(result) => {
-                counters.completed.fetch_add(1, Ordering::Relaxed);
+                metrics.completed.incr();
                 ("ok", ok_response(&ticket.id, kind, &result))
             }
             Err(JobError::Cancelled { message }) => {
-                counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                metrics.timed_out.incr();
                 carbon_trace::counter!("serve.timed_out");
                 ("timeout", timeout_response(&ticket.id, kind, &message))
             }
             Err(e) => {
-                counters.errored.fetch_add(1, Ordering::Relaxed);
+                metrics.errored.incr();
                 ("error", error_response(&ticket.id, "exec", &e.to_string()))
             }
         };
+        // End-to-end latency: admission to response, queue wait
+        // included — what a client experiences.
+        if let Some(hist) = metrics.latency(kind) {
+            hist.record(u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         if span.is_live() {
             span.record("status", status);
             span.record("resp_bytes", response.len());

@@ -76,6 +76,12 @@ fn job_set() -> Vec<String> {
 /// Runs the whole job set against one server over `connections`
 /// parallel connections (round-robin assignment) and returns the raw
 /// response bytes keyed by job id.
+///
+/// Each connection also exercises the metrics fast path — a `ping`
+/// before its jobs and a `stats` snapshot after — interleaved with the
+/// queued work. Those responses carry uptime and latency aggregates
+/// (the documented determinism exception), so they are checked for
+/// `ok` but excluded from the byte comparison.
 fn run_set(addr: std::net::SocketAddr, connections: usize) -> BTreeMap<u64, Vec<u8>> {
     let requests = job_set();
     std::thread::scope(|scope| {
@@ -84,7 +90,9 @@ fn run_set(addr: std::net::SocketAddr, connections: usize) -> BTreeMap<u64, Vec<
                 let mine: Vec<&String> = requests.iter().skip(c).step_by(connections).collect();
                 scope.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect");
-                    mine.into_iter()
+                    fast_path_call(&mut client, "ping");
+                    let responses: Vec<(u64, Vec<u8>)> = mine
+                        .into_iter()
                         .map(|body| {
                             let raw = client.call_raw(body.as_bytes()).expect("response");
                             let id = carbon_json::u64_field(
@@ -94,7 +102,9 @@ fn run_set(addr: std::net::SocketAddr, connections: usize) -> BTreeMap<u64, Vec<
                             .expect("response carries the job id");
                             (id, raw)
                         })
-                        .collect::<Vec<_>>()
+                        .collect();
+                    fast_path_call(&mut client, "stats");
+                    responses
                 })
             })
             .collect();
@@ -103,6 +113,26 @@ fn run_set(addr: std::net::SocketAddr, connections: usize) -> BTreeMap<u64, Vec<
             .flat_map(|h| h.join().unwrap())
             .collect()
     })
+}
+
+/// Sends one fast-path request (`ping` or `stats`) and asserts it is
+/// answered `ok` on the connection thread. The body is intentionally
+/// not returned: fast-path responses are operational state, not
+/// simulation output, and never enter the determinism comparison.
+fn fast_path_call(client: &mut Client, kind: &str) {
+    let response = client
+        .call(
+            &Json::obj()
+                .push("id", format!("fast-{kind}"))
+                .push("job", Json::obj().push("kind", kind)),
+        )
+        .expect("fast-path response");
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{kind} answered {}",
+        response.render()
+    );
 }
 
 #[test]
@@ -123,6 +153,14 @@ fn responses_are_byte_identical_across_threads_workers_and_connections() {
             let got = run_set(server.local_addr(), connections);
             let stats = server.shutdown();
             assert_eq!(stats.protocol_errors, 0);
+            // Metrics are always on, and the fast-path traffic rode
+            // along — but only the queued jobs count as admissions.
+            assert_eq!(
+                stats.accepted,
+                job_set().len() as u64,
+                "accepted == job count with metrics on and fast-path traffic interleaved"
+            );
+            assert_eq!(stats.completed, job_set().len() as u64);
             assert_eq!(
                 got.len(),
                 job_set().len(),

@@ -264,6 +264,233 @@ fn full_queue_answers_busy_without_blocking() {
 }
 
 #[test]
+fn ping_echoes_id_and_reports_version_and_uptime() {
+    let server = start(1, 4);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let response = client
+        .call(
+            &Json::obj()
+                .push("id", "are-you-there")
+                .push("job", Json::obj().push("kind", "ping")),
+        )
+        .unwrap();
+    assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        response.get("id").and_then(Json::as_str),
+        Some("are-you-there")
+    );
+    let result = response.get("result").unwrap();
+    assert_eq!(
+        result.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(result.get("uptime_ms").and_then(Json::as_u64).is_some());
+    // Ping bypasses admission: nothing was accepted or completed.
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn stats_reports_counters_gauges_and_per_kind_histograms() {
+    let server = start(2, 8);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let op_jobs = 3;
+    for i in 0..op_jobs {
+        let response = client
+            .call(
+                &Json::obj().push("id", i).push(
+                    "job",
+                    Json::obj()
+                        .push("kind", "op")
+                        .push("deck", RC_DECK)
+                        .push("nodes", nodes(&["out"])),
+                ),
+            )
+            .unwrap();
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    let response = client
+        .call(
+            &Json::obj()
+                .push("id", "snap")
+                .push("job", Json::obj().push("kind", "stats")),
+        )
+        .unwrap();
+    assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+    let result = response.get("result").unwrap();
+    assert!(result.get("uptime_ms").and_then(Json::as_u64).is_some());
+
+    let counters = result.get("counters").unwrap();
+    let get = |section: &Json, name: &str| section.get(name).and_then(Json::as_u64);
+    assert_eq!(get(counters, "serve.accepted"), Some(op_jobs));
+    assert_eq!(get(counters, "serve.completed"), Some(op_jobs));
+    assert_eq!(get(counters, "serve.rejected_busy"), Some(0));
+    assert_eq!(get(counters, "serve.timed_out"), Some(0));
+    assert_eq!(get(counters, "serve.stats"), Some(1));
+    assert!(get(counters, "serve.worker_busy_ns").unwrap() > 0);
+
+    let gauges = result.get("gauges").unwrap();
+    assert_eq!(get(gauges, "serve.workers"), Some(2));
+    assert_eq!(get(gauges, "serve.queue_capacity"), Some(8));
+    assert_eq!(get(gauges, "serve.queue_depth"), Some(0));
+
+    // Every queued kind is pre-registered, so the histogram section
+    // lists all seven latency histograms even though only `op` ran.
+    let histograms = result.get("histograms").unwrap();
+    let op_latency = histograms.get("serve.latency_ns.op").unwrap();
+    assert_eq!(get(op_latency, "count"), Some(op_jobs));
+    assert!(get(op_latency, "p50").unwrap() <= get(op_latency, "p99").unwrap());
+    for kind in ["dc_sweep", "ac_sweep", "transient", "fig2", "fig5", "fig7"] {
+        let hist = histograms
+            .get(&format!("serve.latency_ns.{kind}"))
+            .unwrap_or_else(|| panic!("latency histogram for {kind} not pre-registered"));
+        assert_eq!(get(hist, "count"), Some(0));
+    }
+    assert_eq!(
+        histograms
+            .get("serve.queue_wait_ns.op")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64),
+        Some(op_jobs)
+    );
+}
+
+#[test]
+fn fast_path_answers_while_the_queue_is_full() {
+    // One worker, depth 1: two slow jobs fill the worker and the
+    // queue. While they grind, a queued job kind must bounce with
+    // `busy` — but `ping` and `stats` are answered on the connection
+    // thread, before admission, so a saturated server stays
+    // observable.
+    let server = start(1, 1);
+    let addr = server.local_addr();
+    let slow_request = Json::obj()
+        .push("id", "slow")
+        .push(
+            "job",
+            Json::obj()
+                .push("kind", "transient")
+                .push("deck", RC_DECK)
+                .push("tstep", 1e-8)
+                .push("tstop", 2e-3)
+                .push("nodes", nodes(&["out"])),
+        )
+        .render();
+    std::thread::scope(|scope| {
+        let spawn_slow = |body: String| {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let resp = client.call(&Json::parse(&body).unwrap()).unwrap();
+                resp.get("status")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_owned()
+            })
+        };
+
+        let mut probe = Client::connect(addr).unwrap();
+        let fetch_stats = |client: &mut Client| {
+            let resp = client
+                .call(
+                    &Json::obj()
+                        .push("id", "probe")
+                        .push("job", Json::obj().push("kind", "stats")),
+                )
+                .unwrap();
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+            resp.get("result").cloned().unwrap()
+        };
+        // Polls the fast path until the server reaches the given
+        // (accepted, completed, queue_depth) state.
+        let mut wait_for = |accepted: u64, depth: u64, what: &str| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let snap = fetch_stats(&mut probe);
+                let counter = |name: &str| {
+                    snap.get("counters")
+                        .unwrap()
+                        .get(name)
+                        .and_then(Json::as_u64)
+                        .unwrap()
+                };
+                let gauge_depth = snap
+                    .get("gauges")
+                    .unwrap()
+                    .get("serve.queue_depth")
+                    .and_then(Json::as_u64)
+                    .unwrap();
+                if counter("serve.accepted") == accepted
+                    && counter("serve.completed") == 0
+                    && gauge_depth == depth
+                {
+                    break;
+                }
+                assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+                std::thread::yield_now();
+            }
+        };
+
+        // Admit the slow jobs one at a time so neither is bounced:
+        // the first must be on the worker (queue empty again) before
+        // the second is sent to fill the queue.
+        let first = spawn_slow(slow_request.clone());
+        wait_for(1, 0, "first slow job picked up by the worker");
+        let second = spawn_slow(slow_request.clone());
+        wait_for(2, 1, "second slow job waiting in the queue");
+        let slow_handles = [first, second];
+
+        // A queued kind is bounced...
+        let busy = probe
+            .call(
+                &Json::obj().push("id", "bounced").push(
+                    "job",
+                    Json::obj()
+                        .push("kind", "op")
+                        .push("deck", RC_DECK)
+                        .push("nodes", nodes(&["out"])),
+                ),
+            )
+            .unwrap();
+        assert_eq!(busy.get("status").and_then(Json::as_str), Some("busy"));
+
+        // ...but the fast path still answers.
+        let pong = probe
+            .call(
+                &Json::obj()
+                    .push("id", "still-there")
+                    .push("job", Json::obj().push("kind", "ping")),
+            )
+            .unwrap();
+        assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+        let snap = fetch_stats(&mut probe);
+        assert_eq!(
+            snap.get("counters")
+                .unwrap()
+                .get("serve.rejected_busy")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            snap.get("gauges")
+                .unwrap()
+                .get("serve.queue_depth")
+                .and_then(Json::as_u64),
+            Some(1),
+            "the queued slow job is still waiting"
+        );
+
+        for h in slow_handles {
+            assert_eq!(h.join().unwrap(), "ok");
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.rejected_busy, 1);
+}
+
+#[test]
 fn graceful_drain_answers_every_admitted_job() {
     let server = start(2, 32);
     let addr = server.local_addr();

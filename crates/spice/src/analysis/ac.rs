@@ -453,14 +453,19 @@ fn sparse_sweep_points(
         if k == 0 {
             ws.lu.factor(&ws.a)?;
             counter!("spice.sparse.ac_factor");
+            carbon_metrics::global_counter!("spice.sparse.ac_factor").incr();
         } else {
             match ws.lu.refactor(&ws.a)? {
-                Refactor::Replayed => counter!("spice.sparse.ac_replay"),
+                Refactor::Replayed => {
+                    counter!("spice.sparse.ac_replay");
+                    carbon_metrics::global_counter!("spice.sparse.ac_replay").incr();
+                }
                 Refactor::Repivoted => {
                     // The pivot order chosen at the head frequency went
                     // stale as ω moved the susceptances — rare, but
                     // campaigns watch the fallback rate.
                     counter!("spice.sparse.ac_repivot");
+                    carbon_metrics::global_counter!("spice.sparse.ac_repivot").incr();
                     instant!("spice.sparse.ac_stale_pivot", "freq" = f, "n" = n_unknowns);
                 }
             }

@@ -433,6 +433,19 @@ pub(crate) fn newton_solve(
     // residual (largest node-voltage update), and the replay-vs-full
     // refactorization decisions taken on the sparse path. Inert — a
     // thread-local flag check — unless a subscriber is installed.
+    // Always-on aggregates: per-analysis solve and iteration totals in
+    // the process-global metrics registry. Observation only — nothing
+    // downstream reads these, so results stay bit-identical.
+    let record_newton = |iters: usize| {
+        if time.is_some() {
+            carbon_metrics::global_counter!("spice.newton.solves.tran").incr();
+            carbon_metrics::global_counter!("spice.newton.iterations.tran").add(iters as u64);
+        } else {
+            carbon_metrics::global_counter!("spice.newton.solves.dc").incr();
+            carbon_metrics::global_counter!("spice.newton.iterations.dc").add(iters as u64);
+        }
+    };
+
     let mut solve_span = span!("spice.newton_solve");
     if solve_span.is_live() {
         solve_span.record("n", n_unknowns);
@@ -473,6 +486,7 @@ pub(crate) fn newton_solve(
                 solve_span.record("converged", false);
                 solve_span.record("cancelled", true);
             }
+            record_newton(iter);
             return Err(SpiceError::Cancelled {
                 analysis: if time.is_some() {
                     "transient newton solve"
@@ -527,13 +541,17 @@ pub(crate) fn newton_solve(
                 }
                 if lu.is_factored() {
                     match lu.refactor(a)? {
-                        Refactor::Replayed => counter!("spice.sparse.replay"),
+                        Refactor::Replayed => {
+                            counter!("spice.sparse.replay");
+                            carbon_metrics::global_counter!("spice.sparse.replay").incr();
+                        }
                         Refactor::Repivoted => {
                             // The pivot-growth staleness check rejected
                             // the cached pivot order — the event sweeps
                             // and campaigns watch for fallback-rate
                             // spikes.
                             counter!("spice.sparse.repivot");
+                            carbon_metrics::global_counter!("spice.sparse.repivot").incr();
                             instant!("spice.sparse.stale_pivot", "iter" = iter, "n" = n_unknowns);
                             repivots += 1;
                         }
@@ -541,6 +559,7 @@ pub(crate) fn newton_solve(
                 } else {
                     lu.factor(a)?;
                     counter!("spice.sparse.factor");
+                    carbon_metrics::global_counter!("spice.sparse.factor").incr();
                 }
                 x_new.copy_from_slice(z);
                 lu.solve(x_new);
@@ -573,6 +592,7 @@ pub(crate) fn newton_solve(
                 solve_span.record("residual", dv_max);
                 solve_span.record("repivots", repivots);
             }
+            record_newton(iter + 1);
             return Ok(iter + 1);
         }
         if dv_max > opts.vstep_limit {
@@ -599,6 +619,7 @@ pub(crate) fn newton_solve(
         solve_span.record("residual", last_dv);
         solve_span.record("repivots", repivots);
     }
+    record_newton(opts.max_iter);
     Err(SpiceError::NonConvergence {
         analysis: if time.is_some() {
             "transient point"

@@ -525,6 +525,7 @@ fn fixed_loop(
         }
         companions.commit(x);
         counter!("spice.tran.step");
+        carbon_metrics::global_counter!("spice.tran.steps").incr();
         times.push(t);
         samples.push(x.to_vec());
     }
@@ -687,6 +688,7 @@ fn adaptive_loop(
             samples.push(x.to_vec());
             accepted += 1;
             counter!("spice.tran.step");
+            carbon_metrics::global_counter!("spice.tran.steps").incr();
             last_failure = None;
             if lands && t < tstop {
                 // Breakpoint landed: restart like a fresh horizon —
@@ -708,6 +710,7 @@ fn adaptive_loop(
         } else {
             rejected += 1;
             counter!("spice.tran.reject");
+            carbon_metrics::global_counter!("spice.tran.rejects").incr();
             instant!("spice.tran.reject", "t" = t, "h" = h_step, "err" = err_norm);
             h = h_step * 0.5;
             if h < hmin {

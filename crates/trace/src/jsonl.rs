@@ -97,6 +97,17 @@ impl JsonlWriter {
                     escape(name)
                 );
             }
+            Event::Gauge {
+                name,
+                value,
+                thread,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"gauge\",\"name\":\"{}\",\"value\":{value},\"thread\":{thread}}}",
+                    escape(name)
+                );
+            }
         }
         s
     }
@@ -197,6 +208,15 @@ mod tests {
         assert_eq!(
             c,
             "{\"ev\":\"counter\",\"name\":\"spice.sparse.replay\",\"delta\":2,\"thread\":3}"
+        );
+        let g = JsonlWriter::render(&Event::Gauge {
+            name: "serve.queue_depth",
+            value: 7,
+            thread: 2,
+        });
+        assert_eq!(
+            g,
+            "{\"ev\":\"gauge\",\"name\":\"serve.queue_depth\",\"value\":7,\"thread\":2}"
         );
         let i = JsonlWriter::render(&Event::Instant {
             name: "x",

@@ -193,15 +193,27 @@ pub enum Event {
         /// Reporting thread.
         thread: u64,
     },
+    /// A set-valued observation (queue depth, in-flight work). Unlike
+    /// a counter's delta, the value *replaces* the previous reading;
+    /// aggregators report last/min/max rather than a sum.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// The observed value.
+        value: u64,
+        /// Reporting thread.
+        thread: u64,
+    },
 }
 
 impl Event {
     /// The event's name, whatever its kind.
     pub fn name(&self) -> &'static str {
         match self {
-            Self::Span { name, .. } | Self::Instant { name, .. } | Self::Counter { name, .. } => {
-                name
-            }
+            Self::Span { name, .. }
+            | Self::Instant { name, .. }
+            | Self::Counter { name, .. }
+            | Self::Gauge { name, .. } => name,
         }
     }
 }
@@ -446,6 +458,19 @@ pub fn counter_add(name: &'static str, delta: u64) {
     });
 }
 
+/// Records a set-valued observation on the named gauge (skipped when
+/// tracing is disabled).
+pub fn gauge_set(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(&Event::Gauge {
+        name,
+        value,
+        thread: thread_id(),
+    });
+}
+
 /// Opens a [`Span`] guard: `span!("spice.newton_solve")`, optionally
 /// with initial fields: `span!("runtime.chunk", "chunk" = c, "items" = n)`.
 ///
@@ -473,6 +498,19 @@ macro_rules! counter {
     };
     ($name:expr, $delta:expr) => {
         $crate::counter_add($name, $delta)
+    };
+}
+
+/// Records a set-valued gauge observation:
+/// `gauge!("serve.queue_depth", depth)`. The value expression is only
+/// evaluated when tracing is enabled.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            $crate::gauge_set($name, ($value) as u64);
+        }
     };
 }
 
@@ -510,6 +548,21 @@ mod tests {
         drop(s);
         counter!("unit.off.counter");
         instant!("unit.off.instant", "v" = 1.0);
+        gauge!("unit.off.gauge", 3usize);
+    }
+
+    #[test]
+    fn gauges_record_set_values() {
+        let collector = Collector::new();
+        with_subscriber(collector.clone(), || {
+            gauge!("unit.depth", 5usize);
+            gauge!("unit.depth", 2u64);
+            gauge!("unit.depth", 9u32);
+        });
+        assert_eq!(collector.gauge_values("unit.depth"), vec![5, 2, 9]);
+        assert_eq!(collector.gauge_last("unit.depth"), Some(9));
+        assert_eq!(collector.gauge_minmax("unit.depth"), Some((2, 9)));
+        assert_eq!(collector.gauge_last("unit.absent"), None);
     }
 
     #[test]
