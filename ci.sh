@@ -176,27 +176,72 @@ grep -q '"id":"trace/gauge/serve.queue_depth"' "$trace_dir/serve-summary.jsonl" 
 
 # Metrics smoke: the same traced run's compare-JSONL rows carry the
 # server's own `stats` snapshot. Gate on server-side health: every job
-# admitted, none timed out, one warmup ping per connection, and the
-# per-kind latency histogram totals accounting for every admission.
+# admitted, none timed out, one warmup ping per connection, and every
+# admission classified exactly once by the response cache — misses
+# fill the per-kind solve-latency histograms, hits the dedicated
+# `serve.cache.hit_latency_ns` histogram, and the two partitions sum
+# back to `accepted`.
 echo "==> metrics smoke: stats snapshot accounts for every job"
 row_val() {
-  grep "\"id\":\"$1\"" "$trace_dir/serve-rows.jsonl" | head -1 \
+  grep "\"id\":\"$1\"" "${2:-$trace_dir/serve-rows.jsonl}" | head -1 \
     | sed 's/.*"median_ns":\([0-9]*\).*/\1/'
 }
 accepted=$(row_val 'serve/stats/serve.accepted')
 timed_out=$(row_val 'serve/stats/serve.timed_out')
 pings=$(row_val 'serve/stats/serve.ping')
+hits=$(row_val 'serve/stats/serve.cache.hit')
+misses=$(row_val 'serve/stats/serve.cache.miss')
 [[ "${accepted:-0}" -eq 100 ]] \
   || { echo "stats snapshot: expected 100 accepted, got '${accepted:-}'"; exit 1; }
 [[ "${timed_out:-1}" -eq 0 ]] \
   || { echo "stats snapshot: ${timed_out:-?} job(s) timed out"; exit 1; }
 [[ "${pings:-0}" -eq 4 ]] \
   || { echo "stats snapshot: expected 4 warmup pings, got '${pings:-}'"; exit 1; }
+[[ $(( ${hits:-0} + ${misses:-0} )) -eq "${accepted:-0}" ]] \
+  || { echo "cache classification broke: hits=${hits:-?} + misses=${misses:-?} != accepted=${accepted:-?}"; exit 1; }
 lat_total=$(grep '"id":"serve/stats/serve\.latency_ns\.[a-z0-9_]*/count"' \
     "$trace_dir/serve-rows.jsonl" \
   | sed 's/.*"median_ns":\([0-9]*\).*/\1/' | awk '{s+=$1} END {print s+0}')
-[[ "$lat_total" -eq "$accepted" ]] \
-  || { echo "latency histogram totals ($lat_total) != accepted ($accepted)"; exit 1; }
+[[ "$lat_total" -eq "${misses:-0}" ]] \
+  || { echo "solve-latency histogram totals ($lat_total) != cache misses (${misses:-?})"; exit 1; }
+hit_hist=$(row_val 'serve/stats/serve.cache.hit_latency_ns/count')
+[[ "${hit_hist:-0}" -eq "${hits:-0}" ]] \
+  || { echo "hit-latency histogram count (${hit_hist:-?}) != cache hits (${hits:-?})"; exit 1; }
+
+# Cache smoke: the same 200-job mixed deck set twice over one server.
+# Pass two replays exactly the keys pass one inserted, so its hit rate
+# must be near-total and both passes' response digests byte-identical —
+# the cache may only ever change latency, never bytes. The cache rows
+# are also diffed against a committed baseline at threshold 0: the
+# workload is deterministic and single-flight guarantees exactly one
+# solve per distinct key, so the lifetime hit/miss split is exact and
+# ANY drift (key canonicalisation change, a second solve slipping past
+# the flight map) fails. Regenerate after an intentional workload or
+# key-schema change with:
+#   CARBON_THREADS=2 target/release/carbon-bench serve-load \
+#     --connections 4 --jobs 200 --passes 2 --queue-depth 1024 --digest \
+#     2>/dev/null | grep '"id":"serve/cache_' > benches/baseline/serve-cache.jsonl
+echo "==> cache smoke: warm pass all-hit, digests identical, accounting exact"
+CARBON_THREADS=2 "$bench_bin" serve-load \
+  --connections 4 --jobs 200 --passes 2 --queue-depth 1024 --digest \
+  > "$trace_dir/cache-rows.jsonl" 2> "$trace_dir/cache-smoke.log" \
+  || { echo "cache smoke serve-load failed"; cat "$trace_dir/cache-smoke.log"; exit 1; }
+pass0=$(grep '^pass0_digest=' "$trace_dir/cache-rows.jsonl" | cut -d= -f2)
+pass1=$(grep '^pass1_digest=' "$trace_dir/cache-rows.jsonl" | cut -d= -f2)
+[[ -n "$pass0" && "$pass0" == "$pass1" ]] \
+  || { echo "cache smoke: pass digests differ ('$pass0' vs '$pass1')"; exit 1; }
+hit_rate=$(row_val 'serve/cache_hit_rate' "$trace_dir/cache-rows.jsonl")
+[[ "${hit_rate:-0}" -gt 900 ]] \
+  || { echo "cache smoke: second-pass hit rate ${hit_rate:-0} per-mille, want > 900"; exit 1; }
+hits=$(row_val 'serve/cache_hits' "$trace_dir/cache-rows.jsonl")
+misses=$(row_val 'serve/cache_misses' "$trace_dir/cache-rows.jsonl")
+accepted=$(row_val 'serve/stats/serve.accepted' "$trace_dir/cache-rows.jsonl")
+[[ "${accepted:-0}" -eq 400 && $(( ${hits:-0} + ${misses:-0} )) -eq "${accepted:-0}" ]] \
+  || { echo "cache smoke: accounting broke (hits=${hits:-?} misses=${misses:-?} accepted=${accepted:-?})"; exit 1; }
+grep '"id":"serve/cache_' "$trace_dir/cache-rows.jsonl" > "$trace_dir/cache-compare.jsonl"
+"$bench_bin" compare "benches/baseline/serve-cache.jsonl" \
+  "$trace_dir/cache-compare.jsonl" --threshold 0 \
+  || { echo "serve cache rows drifted against benches/baseline/serve-cache.jsonl"; exit 1; }
 
 # Opt-in benchmark regression gate: measure the solver, transient, and
 # device-batch groups for real and diff them against the committed baselines,

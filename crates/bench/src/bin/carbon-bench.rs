@@ -53,7 +53,11 @@
 //! The rows include the server's own `stats` snapshot (flattened as
 //! `serve/stats/*`), which `ci.sh` gates on for server-side health.
 //! `--digest` appends an FNV-1a 64 digest of the id-sorted response
-//! bodies, which `ci.sh` diffs across `CARBON_THREADS`.
+//! bodies, which `ci.sh` diffs across `CARBON_THREADS`. `--passes`
+//! replays the identical schedule over one server (warming its
+//! response cache) and prints one `pass<i>_digest=` line per pass;
+//! `--repeat-frac` switches to the parameter-varied repeat workload
+//! and `--cache-bytes` sizes or (at 0) disables the server's cache.
 
 use std::process::ExitCode;
 
@@ -71,7 +75,8 @@ fn usage() -> ExitCode {
          carbon-bench ac\n       \
          carbon-bench tran\n       \
          carbon-bench serve-load [--connections <n>] [--jobs <n>] [--workers <n>]\n                               \
-         [--queue-depth <n>] [--digest]"
+         [--queue-depth <n>] [--passes <n>] [--repeat-frac <f>]\n                               \
+         [--cache-bytes <n>] [--digest]"
     );
     ExitCode::from(2)
 }
@@ -122,6 +127,23 @@ fn run_serve_load(args: &[String]) -> ExitCode {
             "--jobs" => parse_next(&mut config.jobs),
             "--workers" => parse_next(&mut config.workers),
             "--queue-depth" => parse_next(&mut config.queue_depth),
+            "--passes" => parse_next(&mut config.passes),
+            // Zero is meaningful here (it disables the cache), so this
+            // flag does not go through the positive-only parser.
+            "--cache-bytes" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => {
+                    config.cache_bytes = n;
+                    true
+                }
+                None => false,
+            },
+            "--repeat-frac" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if (0.0..=1.0).contains(&f) => {
+                    config.repeat_frac = f;
+                    true
+                }
+                _ => false,
+            },
             "--digest" => {
                 config.digest = true;
                 true
@@ -135,6 +157,11 @@ fn run_serve_load(args: &[String]) -> ExitCode {
     match serve_load::run(&config) {
         Ok(report) => {
             print!("{}", report.jsonl);
+            if report.pass_digests.len() > 1 {
+                for (i, digest) in report.pass_digests.iter().enumerate() {
+                    println!("pass{i}_digest={digest:016x}");
+                }
+            }
             if let Some(digest) = report.digest {
                 println!("digest={digest:016x}");
             }

@@ -247,41 +247,10 @@ pub fn fet_cs_amp() -> Circuit {
 
 /// FNV-1a 64-bit hash — the digest every deterministic smoke target
 /// prints so `ci.sh` can diff runs across `CARBON_THREADS` with one
-/// line of shell.
-#[derive(Debug, Clone)]
-pub struct Fnv(u64);
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Fnv {
-    /// Starts a hash at the FNV-1a offset basis.
-    pub fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Absorbs bytes.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    /// Absorbs an `f64`'s exact bit pattern (big-endian), so two
-    /// digests match iff every float matches bitwise.
-    pub fn write_f64(&mut self, v: f64) {
-        self.write(&v.to_bits().to_be_bytes());
-    }
-
-    /// The hash value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
+/// line of shell. The implementation now lives in `carbon-json`
+/// (it also derives the serve cache's canonical job keys); this
+/// re-export keeps the historical `carbon_bench::Fnv` path working.
+pub use carbon_json::Fnv;
 
 /// `n` log-spaced frequencies over `lo..=hi` — the grid every AC
 /// bench and smoke target sweeps.

@@ -14,19 +14,47 @@
 //! `CARBON_THREADS` values to catch any scheduling leak into the wire
 //! format.
 //!
-//! Each connection sends one `ping` warmup before its timed jobs (never
-//! sampled or digested), and after the load drains a fresh client pulls
-//! the server's `stats` snapshot; its counters, gauges, and histogram
-//! percentiles land in the JSONL as `serve/stats/*` rows so CI can gate
-//! on server-side health (accepted > 0, timed_out == 0, histogram
-//! totals matching job counts).
+//! Two knobs exercise the server's response cache:
+//!
+//! - `repeat_frac` switches to a parameter-varied workload in which
+//!   each job is, with that probability, a deterministic xoshiro re-pick
+//!   of an earlier job's body (same `job` field, fresh `id`) — a repeat
+//!   hits the cache while every non-repeat deck is genuinely cold.
+//!   At `0.0` (the default) the classic mixed distribution is used
+//!   unchanged.
+//! - `passes` replays the identical job schedule that many times over
+//!   one server; pass 2 onward is an all-warm sweep of pass 1's keys.
+//!   Ids repeat across passes, so per-pass digests must be
+//!   byte-identical — the report carries one digest per pass.
+//!
+//! Cache observability rows: `serve/cache_hits` and
+//! `serve/cache_misses` (lifetime server totals) and
+//! `serve/cache_hit_rate` (final pass only, in **per-mille** — the
+//! compare-JSONL schema is integer-valued). The run fails if the
+//! server's `hits + misses != accepted`, so the counters can never
+//! silently drift from admissions.
+//!
+//! Client-observed latency rows (`serve/<kind>/latency_ns`) mix hits
+//! and misses; the *server-side* histograms keep them apart —
+//! `serve.latency_ns.<kind>` records only solved (miss) requests and
+//! `serve.cache.hit_latency_ns` only hits — so cached repeats never
+//! skew solve-latency baselines. Fast-path `ping`/`stats` calls have
+//! no latency histogram at all. Both facts are asserted in this
+//! module's tests.
+//!
+//! Each connection sends one `ping` warmup per pass before its timed
+//! jobs (never sampled or digested), and after the load drains a fresh
+//! client pulls the server's `stats` snapshot; its counters, gauges,
+//! and histogram percentiles land in the JSONL as `serve/stats/*` rows
+//! so CI can gate on server-side health.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use carbon_json::Json;
-use carbon_serve::{Client, Server, ServerConfig};
+use carbon_runtime::rng::{RngCore, Xoshiro256pp};
+use carbon_serve::{Client, Server, ServerConfig, DEFAULT_CACHE_BYTES};
 
 use crate::Fnv;
 
@@ -34,18 +62,30 @@ const RC_DECK: &str = "* rc low-pass\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n.end
 const DIVIDER_DECK: &str =
     "* loaded divider\nV1 top 0 2\nR1 top mid 2k\nR2 mid 0 2k\nC1 mid 0 10n\n.end\n";
 
+/// Seed of the repeat-schedule RNG: fixed, so the same
+/// `(jobs, repeat_frac)` pair always produces the same schedule.
+const SCHEDULE_SEED: u64 = 0x5eed_cafe_0b5e_55ed;
+
 /// Load-run parameters.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Concurrent client connections.
     pub connections: usize,
-    /// Total jobs across all connections.
+    /// Total jobs across all connections (per pass).
     pub jobs: usize,
     /// Server worker threads.
     pub workers: usize,
     /// Server queue depth (admission bound).
     pub queue_depth: usize,
-    /// Compute the response-body digest.
+    /// Server response-cache byte budget (`0` disables caching).
+    pub cache_bytes: u64,
+    /// Times the identical job schedule is replayed over one server.
+    pub passes: usize,
+    /// Probability that a job re-issues an earlier job's body
+    /// (deterministic xoshiro pick). `0.0` keeps the classic mixed
+    /// distribution.
+    pub repeat_frac: f64,
+    /// Compute the response-body digest (one per pass).
     pub digest: bool,
 }
 
@@ -56,6 +96,9 @@ impl Default for LoadConfig {
             jobs: 1000,
             workers: carbon_runtime::Executor::new().threads(),
             queue_depth: 64,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            passes: 1,
+            repeat_frac: 0.0,
             digest: false,
         }
     }
@@ -76,15 +119,24 @@ pub struct LoadReport {
     pub jsonl: String,
     /// Human-readable summary.
     pub summary: String,
-    /// FNV-1a 64 digest over id-sorted `ok` response bodies (when
-    /// requested).
+    /// FNV-1a 64 digest over the *final* pass's id-sorted `ok`
+    /// response bodies (when requested).
     pub digest: Option<u64>,
-    /// Count of `busy` rejections observed by clients.
+    /// One digest per pass, in pass order (when requested). Ids repeat
+    /// across passes, so these must all be equal on a healthy server.
+    pub pass_digests: Vec<u64>,
+    /// Count of `busy` rejections observed by clients (all passes).
     pub busy: u64,
     /// Count of responses that were neither `ok` nor `busy`.
     pub failed: u64,
     /// Jobs the server timed out (from the server's own counters).
     pub timed_out: u64,
+    /// Lifetime cache hits from the server's counters.
+    pub cache_hits: u64,
+    /// Lifetime cache misses from the server's counters.
+    pub cache_misses: u64,
+    /// Final-pass hit rate in per-mille (hits ÷ admitted, × 1000).
+    pub hit_rate_permille: u64,
 }
 
 /// The deterministic mixed distribution: job `i`'s request body.
@@ -145,6 +197,91 @@ fn request_body(i: usize) -> (&'static str, String) {
     (kind, Json::obj().push("id", i).push("job", job).render())
 }
 
+/// A parameter-varied job for the `repeat_frac` workload: every slot
+/// gets a distinct deck (the divider's upper resistor encodes the slot
+/// index), so a non-repeat job can never accidentally share a cache
+/// key with another slot.
+fn unique_body(i: usize) -> (&'static str, Json) {
+    let deck = format!(
+        "* unique divider {i}\nV1 top 0 2\nR1 top mid {}\nR2 mid 0 2k\nC1 mid 0 10n\n.end\n",
+        1000 + i
+    );
+    match i % 4 {
+        0 => (
+            "op",
+            Json::obj()
+                .push("kind", "op")
+                .push("deck", deck)
+                .push("nodes", nodes(&["mid"])),
+        ),
+        1 => (
+            "dc_sweep",
+            Json::obj()
+                .push("kind", "dc_sweep")
+                .push("deck", deck)
+                .push("source", "V1")
+                .push("from", 0.0)
+                .push("to", 2.0)
+                .push("step", 0.25)
+                .push("nodes", nodes(&["mid"])),
+        ),
+        2 => (
+            "ac_sweep",
+            Json::obj()
+                .push("kind", "ac_sweep")
+                .push("deck", deck)
+                .push("source", "V1")
+                .push("fstart", 1.0)
+                .push("fstop", 1e5)
+                .push("points_per_decade", 5)
+                .push("nodes", nodes(&["mid"])),
+        ),
+        _ => (
+            "transient",
+            Json::obj()
+                .push("kind", "transient")
+                .push("deck", deck)
+                .push("tstep", 1e-5)
+                .push("tstop", 1e-3)
+                .push("nodes", nodes(&["mid"])),
+        ),
+    }
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits of the generator.
+fn u01(rng: &mut Xoshiro256pp) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Builds one pass's rendered request bodies. With `repeat_frac == 0`
+/// this is exactly the classic [`request_body`] distribution; above
+/// zero, each slot is (with that probability) a re-issue of an earlier
+/// slot's `job` field under a fresh id, the pick made by a
+/// fixed-seeded xoshiro so the schedule is a pure function of
+/// `(jobs, repeat_frac)`.
+fn build_schedule(jobs: usize, repeat_frac: f64) -> Vec<(&'static str, String)> {
+    if repeat_frac <= 0.0 {
+        return (0..jobs).map(request_body).collect();
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(SCHEDULE_SEED);
+    let mut slots: Vec<(&'static str, Json)> = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let repeat = i > 0 && u01(&mut rng) < repeat_frac;
+        let slot = if repeat {
+            let j = usize::try_from(rng.next_u64() % i as u64).expect("index fits");
+            slots[j].clone()
+        } else {
+            unique_body(i)
+        };
+        slots.push(slot);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, (kind, job))| (kind, Json::obj().push("id", i).push("job", job).render()))
+        .collect()
+}
+
 fn nodes(names: &[&str]) -> Json {
     Json::Arr(names.iter().map(|n| Json::Str((*n).to_owned())).collect())
 }
@@ -153,9 +290,10 @@ fn nodes(names: &[&str]) -> Json {
 ///
 /// # Errors
 ///
-/// Returns a rendered error for bind failures and for any protocol
-/// error (a client that fails to get a response, a non-JSON body, a
-/// missing id).
+/// Returns a rendered error for bind failures, for any protocol error
+/// (a client that fails to get a response, a non-JSON body, a missing
+/// id), and for a cache accounting violation
+/// (`hits + misses != accepted`).
 pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     let server = Server::start(
         "127.0.0.1:0",
@@ -163,37 +301,65 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
             workers: config.workers.max(1),
             queue_depth: config.queue_depth,
             default_timeout_ms: None,
+            cache_bytes: config.cache_bytes,
         },
     )
     .map_err(|e| format!("cannot bind loopback server: {e}"))?;
     let addr = server.local_addr();
     let connections = config.connections.max(1);
+    let passes = config.passes.max(1);
+    let schedule = build_schedule(config.jobs, config.repeat_frac);
 
     let started = Instant::now();
-    let jobs = config.jobs;
-    let samples: Vec<Sample> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
-            .map(|c| {
-                scope.spawn(move || -> Result<Vec<Sample>, String> {
-                    let mut client = Client::connect(addr)
-                        .map_err(|e| format!("connection {c}: connect failed: {e}"))?;
-                    warmup(&mut client, c)?;
-                    (c..jobs)
-                        .step_by(connections)
-                        .map(|i| one_call(&mut client, i))
-                        .collect()
+    let mut samples: Vec<Sample> = Vec::with_capacity(config.jobs * passes);
+    let mut pass_digests: Vec<u64> = Vec::new();
+    let mut hit_rate_permille = 0u64;
+    let mut before = server.stats();
+    for _pass in 0..passes {
+        let schedule = &schedule;
+        let pass_samples: Vec<Sample> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..connections)
+                .map(|c| {
+                    scope.spawn(move || -> Result<Vec<Sample>, String> {
+                        let mut client = Client::connect(addr)
+                            .map_err(|e| format!("connection {c}: connect failed: {e}"))?;
+                        warmup(&mut client, c)?;
+                        (c..schedule.len())
+                            .step_by(connections)
+                            .map(|i| one_call(&mut client, i, schedule))
+                            .collect()
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("load thread panicked"))
-            .collect::<Result<Vec<_>, _>>()
-            .map(|per_conn| per_conn.into_iter().flatten().collect())
-    })?;
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("load thread panicked"))
+                .collect::<Result<Vec<_>, _>>()
+                .map(|per_conn| per_conn.into_iter().flatten().collect())
+        })?;
+        if config.digest {
+            pass_digests.push(digest_of(&pass_samples));
+        }
+        let after = server.stats();
+        let admitted = after.accepted - before.accepted;
+        let hits = after.cache_hits - before.cache_hits;
+        hit_rate_permille = (hits * 1000).checked_div(admitted).unwrap_or(0);
+        before = after;
+        samples.extend(pass_samples);
+    }
     let elapsed = started.elapsed();
     let stats_snapshot = fetch_stats(addr)?;
     let stats = server.shutdown();
+
+    // The classification invariant: every admitted job was counted as
+    // exactly one of hit/miss. A drift here means the worker path lost
+    // track of a ticket.
+    if stats.cache_hits + stats.cache_misses != stats.accepted {
+        return Err(format!(
+            "cache accounting violated: hits {} + misses {} != accepted {}",
+            stats.cache_hits, stats.cache_misses, stats.accepted
+        ));
+    }
 
     let mut by_kind: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
     let mut all = Vec::with_capacity(samples.len());
@@ -224,17 +390,23 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
     // as missing data rather than a clean run.
     value_row(&mut jsonl, "serve/rejected_busy", stats.rejected_busy);
     value_row(&mut jsonl, "serve/timed_out", stats.timed_out);
+    // Cache health: lifetime hit/miss totals, and the final pass's hit
+    // rate in per-mille (the row schema is integer-valued).
+    value_row(&mut jsonl, "serve/cache_hits", stats.cache_hits);
+    value_row(&mut jsonl, "serve/cache_misses", stats.cache_misses);
+    value_row(&mut jsonl, "serve/cache_hit_rate", hit_rate_permille);
     stats_rows(&mut jsonl, &stats_snapshot);
 
     let throughput = samples.len() as f64 / elapsed.as_secs_f64();
     let mut summary = String::new();
     let _ = writeln!(
         summary,
-        "serve-load: {} jobs over {} connection(s), {} worker(s), queue depth {}",
+        "serve-load: {} jobs over {} connection(s), {} worker(s), queue depth {}, {} pass(es)",
         samples.len(),
         connections,
         config.workers.max(1),
         config.queue_depth,
+        passes,
     );
     let _ = writeln!(
         summary,
@@ -250,6 +422,15 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         stats.rejected_busy,
         stats.timed_out,
         stats.protocol_errors,
+    );
+    let _ = writeln!(
+        summary,
+        "  cache: hits {} misses {} coalesced {} (final-pass hit rate {}.{:01}%)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_coalesced,
+        hit_rate_permille / 10,
+        hit_rate_permille % 10,
     );
     if !all.is_empty() {
         let _ = writeln!(
@@ -272,30 +453,35 @@ pub fn run(config: &LoadConfig) -> Result<LoadReport, String> {
         return Err(format!("{failed} job(s) answered neither ok nor busy"));
     }
 
-    let digest = config.digest.then(|| {
-        let mut ok: Vec<(usize, &[u8])> = samples
-            .iter()
-            .filter(|s| s.status == "ok")
-            .map(|s| (s.id, s.body.as_slice()))
-            .collect();
-        ok.sort_unstable_by_key(|(id, _)| *id);
-        let mut h = Fnv::new();
-        for (id, body) in ok {
-            h.write(&(id as u64).to_be_bytes());
-            h.write(body);
-            h.write(b"\n");
-        }
-        h.finish()
-    });
-
     Ok(LoadReport {
         jsonl,
         summary,
-        digest,
+        digest: pass_digests.last().copied(),
+        pass_digests,
         busy,
         failed,
         timed_out: stats.timed_out,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        hit_rate_permille,
     })
+}
+
+/// FNV-1a 64 over one pass's id-sorted `ok` response bodies.
+fn digest_of(samples: &[Sample]) -> u64 {
+    let mut ok: Vec<(usize, &[u8])> = samples
+        .iter()
+        .filter(|s| s.status == "ok")
+        .map(|s| (s.id, s.body.as_slice()))
+        .collect();
+    ok.sort_unstable_by_key(|(id, _)| *id);
+    let mut h = Fnv::new();
+    for (id, body) in ok {
+        h.write(&(id as u64).to_be_bytes());
+        h.write(body);
+        h.write(b"\n");
+    }
+    h.finish()
 }
 
 /// One `ping` on a fresh connection before its timed jobs: absorbs
@@ -365,8 +551,12 @@ fn stats_rows(out: &mut String, snapshot: &Json) {
     }
 }
 
-fn one_call(client: &mut Client, i: usize) -> Result<Sample, String> {
-    let (kind, body) = request_body(i);
+fn one_call(
+    client: &mut Client,
+    i: usize,
+    schedule: &[(&'static str, String)],
+) -> Result<Sample, String> {
+    let (kind, body) = &schedule[i];
     let t0 = Instant::now();
     let raw = client
         .call_raw(body.as_bytes())
@@ -434,6 +624,39 @@ mod tests {
     }
 
     #[test]
+    fn repeat_schedule_is_deterministic_and_actually_repeats() {
+        let a = build_schedule(100, 0.5);
+        let b = build_schedule(100, 0.5);
+        assert_eq!(
+            a.iter().map(|(_, body)| body).collect::<Vec<_>>(),
+            b.iter().map(|(_, body)| body).collect::<Vec<_>>(),
+            "same (jobs, repeat_frac) => same schedule"
+        );
+        // Strip the per-slot id: what remains is the job body a cache
+        // key is built from. With repeat_frac 0.5 there must be far
+        // fewer distinct bodies than slots, but more than one.
+        let distinct: std::collections::BTreeSet<String> = a
+            .iter()
+            .map(|(_, body)| {
+                let json = Json::parse(body).unwrap();
+                json.get("job").unwrap().render()
+            })
+            .collect();
+        assert!(distinct.len() < 85, "repeats occurred: {}", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "cold jobs occurred: {}",
+            distinct.len()
+        );
+        // Zero repeat_frac is byte-for-byte the classic distribution.
+        let classic = build_schedule(10, 0.0);
+        for (i, (kind, body)) in classic.iter().enumerate() {
+            let (k, b) = request_body(i);
+            assert_eq!((*kind, body.as_str()), (k, b.as_str()));
+        }
+    }
+
+    #[test]
     fn percentile_is_nearest_rank() {
         let v = [10, 20, 30, 40];
         assert_eq!(percentile(&v, 50.0), 20);
@@ -463,16 +686,21 @@ mod tests {
             workers: 2,
             queue_depth: 32,
             digest: true,
+            ..LoadConfig::default()
         })
         .expect("load run succeeds");
         assert_eq!(report.failed, 0);
         assert_eq!(report.timed_out, 0);
         assert!(report.jsonl.contains("serve/all/latency_ns"));
         assert!(report.digest.is_some());
+        assert_eq!(report.pass_digests.len(), 1);
         // Count rows are present even at zero, and the server-side
         // snapshot is flattened into serve/stats/* rows.
         assert!(report.jsonl.contains("\"id\":\"serve/rejected_busy\""));
         assert!(report.jsonl.contains("\"id\":\"serve/timed_out\""));
+        assert!(report.jsonl.contains("\"id\":\"serve/cache_hits\""));
+        assert!(report.jsonl.contains("\"id\":\"serve/cache_misses\""));
+        assert!(report.jsonl.contains("\"id\":\"serve/cache_hit_rate\""));
         assert!(report
             .jsonl
             .contains("\"id\":\"serve/stats/serve.accepted\""));
@@ -492,6 +720,85 @@ mod tests {
         assert_eq!(accepted + report.busy, 20);
         assert_eq!(ping, 2);
         assert_eq!(stats_calls, 1);
+    }
+
+    #[test]
+    fn second_pass_is_all_hits_and_histograms_stay_separate() {
+        let report = run(&LoadConfig {
+            connections: 2,
+            jobs: 24,
+            workers: 2,
+            queue_depth: 64,
+            passes: 2,
+            repeat_frac: 0.5,
+            digest: true,
+            ..LoadConfig::default()
+        })
+        .expect("load run succeeds");
+        // Replayed schedule, same ids: per-pass digests byte-identical.
+        assert_eq!(report.pass_digests.len(), 2);
+        assert_eq!(
+            report.pass_digests[0], report.pass_digests[1],
+            "cold and warm passes must produce byte-identical responses"
+        );
+        // Every key in pass 2 was inserted during pass 1 (queue depth
+        // covers the whole set, so nothing was rejected): all 24 warm
+        // jobs hit, which the per-mille rate reports exactly.
+        assert_eq!(report.hit_rate_permille, 1000);
+        assert!(report.cache_hits >= 24);
+        assert_eq!(
+            report.cache_hits + report.cache_misses,
+            48,
+            "every admitted job classified exactly once"
+        );
+        // Satellite invariant: hits land only in the dedicated
+        // histogram, misses only in the per-kind solve histograms —
+        // so cached repeats cannot skew solve-latency baselines.
+        let hit_count = row_value(
+            &report.jsonl,
+            "serve/stats/serve.cache.hit_latency_ns/count",
+        );
+        assert_eq!(hit_count, report.cache_hits);
+        let solve_count: u64 = [
+            "op",
+            "dc_sweep",
+            "ac_sweep",
+            "transient",
+            "fig2",
+            "fig5",
+            "fig7",
+        ]
+        .iter()
+        .map(|kind| {
+            row_value(
+                &report.jsonl,
+                &format!("serve/stats/serve.latency_ns.{kind}/count"),
+            )
+        })
+        .sum();
+        assert_eq!(solve_count, report.cache_misses);
+        // And the fast-path kinds have no latency histogram at all.
+        assert!(!report.jsonl.contains("serve.latency_ns.ping"));
+        assert!(!report.jsonl.contains("serve.latency_ns.stats"));
+    }
+
+    #[test]
+    fn disabled_cache_still_runs_clean_with_zero_hits() {
+        let report = run(&LoadConfig {
+            connections: 2,
+            jobs: 12,
+            workers: 2,
+            queue_depth: 32,
+            cache_bytes: 0,
+            passes: 2,
+            repeat_frac: 0.9,
+            digest: true,
+        })
+        .expect("load run succeeds");
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cache_misses, 24, "all jobs solved");
+        assert_eq!(report.hit_rate_permille, 0);
+        assert_eq!(report.pass_digests[0], report.pass_digests[1]);
     }
 
     /// Extracts `median_ns` from the row with the given id.

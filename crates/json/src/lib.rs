@@ -127,6 +127,49 @@ pub fn find_string_end(s: &str) -> Option<usize> {
     None
 }
 
+/// FNV-1a 64-bit hash — the workspace's standard content digest.
+///
+/// Grown out of `carbon-bench`, where it fingerprints deterministic
+/// smoke-target output; shared here so `carbon-serve` can derive
+/// content-addressed cache keys from canonical JSON renderings without
+/// a dependency cycle (bench depends on serve). `carbon_bench::Fnv`
+/// re-exports this type, so every digest in the workspace is the same
+/// algorithm with the same reference vectors.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// Starts a hash at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorbs an `f64`'s exact bit pattern (big-endian), so two
+    /// digests match iff every float matches bitwise.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_be_bytes());
+    }
+
+    /// The hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// A parsed or constructed JSON value. Object fields keep insertion
 /// order — rendering is deterministic and round-trips through
 /// [`Json::parse`].
@@ -281,6 +324,63 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+
+    /// Renders the value in *canonical* form: compact like
+    /// [`Json::render`], but with object keys in sorted (byte-wise)
+    /// order at every nesting level. Two trees that differ only in
+    /// object field order render identically, so the canonical form is
+    /// the right input for content addressing. Duplicate keys keep
+    /// their relative order (a stable sort), matching [`Json::get`]'s
+    /// first-occurrence semantics.
+    pub fn canonical_render(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.canonical_render_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical rendering of the value to `out`.
+    pub fn canonical_render_into(&self, out: &mut String) {
+        match self {
+            Self::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.canonical_render_into(out);
+                }
+                out.push(']');
+            }
+            Self::Obj(fields) => {
+                let mut order: Vec<usize> = (0..fields.len()).collect();
+                order.sort_by(|&a, &b| fields[a].0.cmp(&fields[b].0));
+                out.push('{');
+                for (i, &idx) in order.iter().enumerate() {
+                    let (k, v) = &fields[idx];
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    push_escaped(out, k);
+                    out.push_str("\":");
+                    v.canonical_render_into(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.render_into(out),
+        }
+    }
+
+    /// FNV-1a 64 over the canonical rendering — the content-addressed
+    /// identity of the value. Field order cannot move the key; numeric
+    /// *representation* can (`1` and `1.0` are distinct trees), which
+    /// is the conservative direction for a cache: equal keys imply
+    /// equal values, never the reverse.
+    pub fn canonical_key(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.canonical_render().as_bytes());
+        h.finish()
     }
 
     /// Parses one JSON document, rejecting trailing garbage.
@@ -681,5 +781,42 @@ mod tests {
         let v = Json::parse("9007199254740993").unwrap();
         assert_eq!(v, Json::Int(9_007_199_254_740_993));
         assert_eq!(v.render(), "9007199254740993");
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        let digest = |bytes: &[u8]| {
+            let mut h = Fnv::new();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn canonical_render_sorts_keys_recursively() {
+        let a = Json::parse("{\"b\":{\"y\":2,\"x\":1},\"a\":[{\"q\":0,\"p\":9}]}").unwrap();
+        assert_eq!(
+            a.canonical_render(),
+            "{\"a\":[{\"p\":9,\"q\":0}],\"b\":{\"x\":1,\"y\":2}}"
+        );
+        // Scalars and arrays are untouched by canonicalisation.
+        let arr = Json::parse("[3,1,2]").unwrap();
+        assert_eq!(arr.canonical_render(), arr.render());
+    }
+
+    #[test]
+    fn canonical_key_ignores_field_order_but_not_values() {
+        let first = Json::parse("{\"kind\":\"op\",\"deck\":{\"r\":1.5,\"v\":2.0}}").unwrap();
+        let reordered = Json::parse("{\"deck\":{\"v\":2.0,\"r\":1.5},\"kind\":\"op\"}").unwrap();
+        assert_eq!(first.canonical_key(), reordered.canonical_key());
+        let changed = Json::parse("{\"deck\":{\"v\":2.0,\"r\":1.25},\"kind\":\"op\"}").unwrap();
+        assert_ne!(first.canonical_key(), changed.canonical_key());
+        // Integer vs float representation is key-distinct by design.
+        let as_int = Json::parse("{\"v\":1}").unwrap();
+        let as_float = Json::parse("{\"v\":1.0}").unwrap();
+        assert_ne!(as_int.canonical_key(), as_float.canonical_key());
     }
 }

@@ -224,6 +224,16 @@ impl Job {
         matches!(self, Self::Ping | Self::Stats)
     }
 
+    /// Whether an `ok` response for this job may be served from the
+    /// response cache. Exactly the queued kinds: their responses are
+    /// pure functions of the canonical job body under the byte-identity
+    /// contract. The fast-path kinds report operational state (uptime,
+    /// latency aggregates) and are never cached — and never reach a
+    /// worker anyway.
+    pub fn is_cacheable(&self) -> bool {
+        !self.is_fast_path()
+    }
+
     /// Validates the `"job"` object of a request.
     ///
     /// # Errors

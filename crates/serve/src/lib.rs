@@ -12,6 +12,9 @@
 //!   `fig2`, `fig5`, `fig7`, plus the fast-path `ping` and `stats`) with
 //!   up-front validation and deterministic result rendering;
 //! - [`queue`] — bounded MPMC job queue with admission control;
+//! - [`cache`] — content-addressed response cache (sharded LRU over
+//!   canonical job keys) with single-flight deduplication of identical
+//!   in-flight solves;
 //! - [`server`] — acceptor + worker pool with graceful drain shutdown,
 //!   plus the admission-free fast path answering `ping`/`stats` on the
 //!   connection thread;
@@ -32,7 +35,14 @@
 //! report uptime and latency aggregates, which is operational state,
 //! not simulation output. Metrics recording itself never feeds back
 //! into any queued job's response bytes.
+//!
+//! The response cache rides on this contract rather than weakening it:
+//! because an `ok` response is a pure function of the canonical job
+//! body, serving stored bytes (with the requester's own `id` spliced
+//! in) is byte-identical to re-solving, and the cold/warm digest gate
+//! in the determinism suite proves it stays that way.
 
+pub mod cache;
 pub mod client;
 pub mod job;
 mod metrics;
@@ -43,4 +53,4 @@ pub mod server;
 pub use client::Client;
 pub use job::{Job, JobError};
 pub use protocol::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{Server, ServerConfig, ServerStats, DEFAULT_CACHE_BYTES, MIN_CACHE_BYTES};

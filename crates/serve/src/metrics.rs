@@ -44,6 +44,26 @@ pub(crate) struct ServeMetrics {
     pub stats: Arc<Counter>,
     /// Total nanoseconds workers spent executing jobs.
     pub worker_busy_ns: Arc<Counter>,
+    /// Admitted jobs served from the response cache (directly or via a
+    /// coalesced flight).
+    pub cache_hit: Arc<Counter>,
+    /// Admitted jobs that had to solve (cache absent, disabled, or the
+    /// key was cold). `hit + miss == accepted` over a server's lifetime.
+    pub cache_miss: Arc<Counter>,
+    /// `ok` responses stored into the cache.
+    pub cache_insert: Arc<Counter>,
+    /// Bytes evicted from the cache to respect the byte budget.
+    pub cache_evict_bytes: Arc<Counter>,
+    /// Jobs that waited on another worker's in-flight identical solve
+    /// instead of solving themselves.
+    pub cache_coalesced: Arc<Counter>,
+    /// Bytes currently resident in the response cache.
+    pub cache_bytes: Arc<Gauge>,
+    /// End-to-end latency of cache hits, ns. Deliberately separate from
+    /// the per-kind `serve.latency_ns.*` histograms, which record only
+    /// solved (miss) requests — hits would otherwise collapse solve
+    /// latency baselines.
+    pub cache_hit_latency: Arc<Histogram>,
     /// Jobs currently admitted but not yet completed.
     pub queue_depth: Arc<Gauge>,
     uptime_ms: Arc<Gauge>,
@@ -70,6 +90,13 @@ impl ServeMetrics {
             ping: registry.counter("serve.ping"),
             stats: registry.counter("serve.stats"),
             worker_busy_ns: registry.counter("serve.worker_busy_ns"),
+            cache_hit: registry.counter("serve.cache.hit"),
+            cache_miss: registry.counter("serve.cache.miss"),
+            cache_insert: registry.counter("serve.cache.insert"),
+            cache_evict_bytes: registry.counter("serve.cache.evict_bytes"),
+            cache_coalesced: registry.counter("serve.cache.coalesced"),
+            cache_bytes: registry.gauge("serve.cache.bytes"),
+            cache_hit_latency: registry.histogram("serve.cache.hit_latency_ns"),
             queue_depth: registry.gauge("serve.queue_depth"),
             uptime_ms: registry.gauge("serve.uptime_ms"),
             latency: QUEUED_JOB_KINDS
@@ -142,6 +169,11 @@ impl ServeMetrics {
             completed: self.completed.total(),
             errored: self.errored.total(),
             protocol_errors: self.protocol_errors.total(),
+            cache_hits: self.cache_hit.total(),
+            cache_misses: self.cache_miss.total(),
+            cache_coalesced: self.cache_coalesced.total(),
+            cache_insertions: self.cache_insert.total(),
+            cache_evicted_bytes: self.cache_evict_bytes.total(),
         }
     }
 }

@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 use carbon_json::Json;
 use carbon_runtime::CancelToken;
 
+use crate::cache::{FlightGuard, Lookup, ResponseCache, WaitOutcome};
 use crate::job::{Job, JobError};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{write_frame, FrameError, MAX_FRAME_LEN};
@@ -59,6 +60,16 @@ use crate::queue::Bounded;
 /// How long a blocked socket read waits before re-checking the
 /// shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Default response-cache byte budget: 64 MiB. Typical figure-job
+/// responses are a few kilobytes, so the default holds on the order of
+/// ten thousand distinct decks before evicting.
+pub const DEFAULT_CACHE_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Smallest enabled cache the server accepts. Below this the 16-way
+/// sharding leaves shards too small to hold even one typical response,
+/// which silently degrades to a cache that never stores anything.
+pub const MIN_CACHE_BYTES: u64 = 4096;
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -73,6 +84,11 @@ pub struct ServerConfig {
     /// Deadline applied to jobs whose request carries no `timeout_ms`.
     /// `None` means no default deadline.
     pub default_timeout_ms: Option<u64>,
+    /// Byte budget of the content-addressed response cache.
+    /// `0` disables caching (and single-flight deduplication) entirely;
+    /// any other value must be at least [`MIN_CACHE_BYTES`]. Defaults
+    /// to [`DEFAULT_CACHE_BYTES`].
+    pub cache_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +97,7 @@ impl Default for ServerConfig {
             workers: carbon_runtime::Executor::new().threads(),
             queue_depth: 64,
             default_timeout_ms: None,
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -96,12 +113,27 @@ pub struct ServerStats {
     pub rejected_busy: u64,
     /// Jobs that hit their deadline and answered `timeout`.
     pub timed_out: u64,
-    /// Jobs that ran to a successful `ok` response.
+    /// Jobs that answered `ok` — freshly solved or served from the
+    /// response cache.
     pub completed: u64,
     /// Jobs that failed in validation or execution (`error` responses).
     pub errored: u64,
     /// Frames that were not valid request envelopes.
     pub protocol_errors: u64,
+    /// Admitted jobs served from the response cache (directly or by
+    /// waiting on an identical in-flight solve).
+    pub cache_hits: u64,
+    /// Admitted jobs a worker solved itself — counted whether the cache
+    /// is enabled or not, so `cache_hits + cache_misses == accepted`
+    /// always holds.
+    pub cache_misses: u64,
+    /// Jobs that coalesced onto another worker's identical in-flight
+    /// solve instead of solving themselves.
+    pub cache_coalesced: u64,
+    /// `ok` responses stored into the cache.
+    pub cache_insertions: u64,
+    /// Bytes evicted from the cache to respect the byte budget.
+    pub cache_evicted_bytes: u64,
 }
 
 /// An admitted job travelling from a connection thread to a worker.
@@ -109,6 +141,11 @@ struct Ticket {
     /// The request's `id`, echoed verbatim into the response.
     id: Json,
     job: Job,
+    /// Canonical job key: FNV-1a-64 over the canonical (sorted-key)
+    /// rendering of the request's `job` field — `id` and `timeout_ms`
+    /// never participate, so identical decks from different clients
+    /// share a cache entry.
+    key: u64,
     timeout_ms: Option<u64>,
     enqueued: Instant,
     /// Rendezvous back to the connection thread. Capacity 1, so the
@@ -133,8 +170,21 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from binding.
+    /// Propagates socket errors from binding, and rejects a
+    /// `cache_bytes` between `1` and [`MIN_CACHE_BYTES`] (a budget
+    /// that small silently never stores anything; use `0` to disable
+    /// caching).
     pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        if config.cache_bytes != 0 && config.cache_bytes < MIN_CACHE_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "config.cache_bytes must be 0 (cache disabled) or at least \
+                     {MIN_CACHE_BYTES}, got {}",
+                    config.cache_bytes
+                ),
+            ));
+        }
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -144,12 +194,14 @@ impl Server {
         // snapshot has the same structure on a fresh server as on a
         // loaded one.
         let metrics = Arc::new(ServeMetrics::new(config.workers.max(1), config.queue_depth));
+        let cache = (config.cache_bytes > 0).then(|| ResponseCache::new(config.cache_bytes));
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
-                std::thread::spawn(move || worker_loop(&queue, &metrics))
+                let cache = cache.clone();
+                std::thread::spawn(move || worker_loop(&queue, &metrics, cache.as_ref()))
             })
             .collect();
 
@@ -271,8 +323,10 @@ fn connection_loop(
         let response = match parse_envelope(&body, default_timeout_ms) {
             // ping/stats are answered here, on the connection thread,
             // before admission — a full queue cannot starve them.
-            Ok((id, job, _)) if job.is_fast_path() => fast_path_response(&id, &job, queue, metrics),
-            Ok((id, job, timeout_ms)) => dispatch(id, job, timeout_ms, queue, metrics),
+            Ok((id, job, _, _)) if job.is_fast_path() => {
+                fast_path_response(&id, &job, queue, metrics)
+            }
+            Ok((id, job, key, timeout_ms)) => dispatch(id, job, key, timeout_ms, queue, metrics),
             Err(resp) => {
                 metrics.protocol_errors.incr();
                 resp
@@ -320,12 +374,13 @@ fn fast_path_response(
     }
 }
 
-/// Validates one request envelope into `(id, job, timeout_ms)`;
+/// Validates one request envelope into `(id, job, key, timeout_ms)`,
+/// where `key` is the canonical content key of the `job` field;
 /// failures come back as ready-to-send response bytes.
 fn parse_envelope(
     body: &[u8],
     default_timeout_ms: Option<u64>,
-) -> Result<(Json, Job, Option<u64>), Vec<u8>> {
+) -> Result<(Json, Job, u64, Option<u64>), Vec<u8>> {
     let text = std::str::from_utf8(body)
         .map_err(|_| error_response(&Json::Null, "parse", "request is not UTF-8"))?;
     let envelope =
@@ -361,7 +416,12 @@ fn parse_envelope(
         JobError::Invalid { reason } => error_response(&id, "validate", &reason),
         other => error_response(&id, "validate", &other.to_string()),
     })?;
-    Ok((id, job, timeout_ms))
+    // Content identity of the work itself: the `job` field only, in
+    // canonical (sorted-key) form. `id` and `timeout_ms` are excluded —
+    // an `ok` response is a pure function of the job body, so neither
+    // may split the cache key space.
+    let key = job_field.canonical_key();
+    Ok((id, job, key, timeout_ms))
 }
 
 /// Admits the job (or answers `busy`) and waits for the worker's
@@ -369,6 +429,7 @@ fn parse_envelope(
 fn dispatch(
     id: Json,
     job: Job,
+    key: u64,
     timeout_ms: Option<u64>,
     queue: &Bounded<Ticket>,
     metrics: &ServeMetrics,
@@ -377,6 +438,7 @@ fn dispatch(
     let ticket = Ticket {
         id: id.clone(),
         job,
+        key,
         timeout_ms,
         enqueued: Instant::now(),
         resp: resp_tx,
@@ -401,7 +463,64 @@ fn dispatch(
     }
 }
 
-fn worker_loop(queue: &Bounded<Ticket>, metrics: &ServeMetrics) {
+/// How one admitted ticket resolved against the response cache.
+enum CacheDecision {
+    /// Serve these bytes (already id-spliced); no solve happens.
+    Served(Vec<u8>),
+    /// The waiter's deadline expired before its leader finished.
+    WaitTimedOut,
+    /// Solve it ourselves. The guard is `Some` when this worker leads a
+    /// flight other workers may be waiting on, `None` when the cache is
+    /// disabled or the job is not cacheable.
+    Solve(Option<FlightGuard>),
+}
+
+/// Classifies one ticket against the cache: hit, coalesced wait, or
+/// leader/solo solve. Loops because a leader may fail — the first
+/// retrying waiter then becomes the new leader.
+fn resolve_cache(
+    cache: Option<&Arc<ResponseCache>>,
+    ticket: &Ticket,
+    metrics: &ServeMetrics,
+) -> CacheDecision {
+    let Some(cache) = cache.filter(|_| ticket.job.is_cacheable()) else {
+        return CacheDecision::Solve(None);
+    };
+    let mut counted_coalesced = false;
+    loop {
+        match cache.begin(ticket.key) {
+            Lookup::Hit(suffix) => {
+                return CacheDecision::Served(splice_cached(&ticket.id, &suffix))
+            }
+            Lookup::Lead(guard) => return CacheDecision::Solve(Some(guard)),
+            Lookup::Wait(flight) => {
+                if !counted_coalesced {
+                    metrics.cache_coalesced.incr();
+                    counted_coalesced = true;
+                }
+                // The waiter's own deadline still applies while the
+                // leader solves, mirroring the CancelToken a solving
+                // worker would run under.
+                let deadline = ticket
+                    .timeout_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms));
+                match flight.wait(deadline) {
+                    WaitOutcome::Ready(suffix) => {
+                        return CacheDecision::Served(splice_cached(&ticket.id, &suffix))
+                    }
+                    WaitOutcome::TimedOut => return CacheDecision::WaitTimedOut,
+                    WaitOutcome::LeaderFailed => {} // retry: maybe lead now
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &Bounded<Ticket>,
+    metrics: &ServeMetrics,
+    cache: Option<&Arc<ResponseCache>>,
+) {
     while let Some(ticket) = queue.pop() {
         metrics
             .queue_depth
@@ -416,6 +535,54 @@ fn worker_loop(queue: &Bounded<Ticket>, metrics: &ServeMetrics) {
             span.record("kind", kind);
             span.record("queue_ns", queue_ns);
         }
+        // Every admitted ticket is classified exactly once as a cache
+        // hit (served from stored bytes or a coalesced flight) or a
+        // miss (this worker produces the response itself, including
+        // the waiter-deadline edge) — so hit + miss == accepted.
+        let mut guard = match resolve_cache(cache, &ticket, metrics) {
+            CacheDecision::Served(response) => {
+                metrics.cache_hit.incr();
+                metrics.completed.incr();
+                carbon_trace::counter!("serve.cache.hit");
+                metrics.cache_hit_latency.record(
+                    u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                if span.is_live() {
+                    span.record("status", "ok");
+                    span.record("cache", "hit");
+                    span.record("resp_bytes", response.len());
+                }
+                drop(span);
+                let _ = ticket.resp.send(response);
+                continue;
+            }
+            CacheDecision::WaitTimedOut => {
+                metrics.cache_miss.incr();
+                metrics.timed_out.incr();
+                carbon_trace::counter!("serve.timed_out");
+                let response = timeout_response(
+                    &ticket.id,
+                    kind,
+                    "deadline expired while coalesced onto an identical in-flight job",
+                );
+                if let Some(hist) = metrics.latency(kind) {
+                    hist.record(
+                        u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    );
+                }
+                if span.is_live() {
+                    span.record("status", "timeout");
+                    span.record("resp_bytes", response.len());
+                }
+                drop(span);
+                let _ = ticket.resp.send(response);
+                continue;
+            }
+            CacheDecision::Solve(guard) => {
+                metrics.cache_miss.incr();
+                guard
+            }
+        };
         let token = match ticket.timeout_ms {
             Some(ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
             None => CancelToken::new(),
@@ -428,7 +595,27 @@ fn worker_loop(queue: &Bounded<Ticket>, metrics: &ServeMetrics) {
         let (status, response) = match outcome {
             Ok(result) => {
                 metrics.completed.incr();
-                ("ok", ok_response(&ticket.id, kind, &result))
+                let response = ok_response(&ticket.id, kind, &result);
+                // Only `ok` responses enter the cache: the stored value
+                // is everything after the `{"id":<id>` prefix, so a
+                // later hit splices its own id in front and is
+                // byte-identical to this solve by construction.
+                if let Some(guard) = guard.take() {
+                    let prefix_len = 6 + ticket.id.render().len();
+                    let insert = guard.complete_ok(response[prefix_len..].to_vec());
+                    if insert.inserted {
+                        metrics.cache_insert.incr();
+                    }
+                    if insert.evicted_bytes > 0 {
+                        metrics.cache_evict_bytes.add(insert.evicted_bytes);
+                    }
+                    if let Some(cache) = cache {
+                        metrics
+                            .cache_bytes
+                            .set(i64::try_from(cache.bytes()).unwrap_or(i64::MAX));
+                    }
+                }
+                ("ok", response)
             }
             Err(JobError::Cancelled { message }) => {
                 metrics.timed_out.incr();
@@ -440,8 +627,15 @@ fn worker_loop(queue: &Bounded<Ticket>, metrics: &ServeMetrics) {
                 ("error", error_response(&ticket.id, "exec", &e.to_string()))
             }
         };
+        // A failed leader (timeout/error) publishes failure so waiters
+        // retry; nothing is cached.
+        if let Some(guard) = guard.take() {
+            guard.fail();
+        }
         // End-to-end latency: admission to response, queue wait
-        // included — what a client experiences.
+        // included — what a client experiences. Only misses land here;
+        // hits go to `serve.cache.hit_latency_ns` so cached repeats
+        // cannot skew the solve-latency baselines.
         if let Some(hist) = metrics.latency(kind) {
             hist.record(u64::try_from(ticket.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
@@ -454,6 +648,18 @@ fn worker_loop(queue: &Bounded<Ticket>, metrics: &ServeMetrics) {
         // dropped (capacity-1 channel: never blocks).
         let _ = ticket.resp.send(response);
     }
+}
+
+/// Reassembles a full response from a cached suffix: `{"id":` + the
+/// request's own id + the stored bytes (which begin at the comma after
+/// the leader's id and run to the closing brace).
+fn splice_cached(id: &Json, suffix: &[u8]) -> Vec<u8> {
+    let id_rendered = id.render();
+    let mut out = Vec::with_capacity(6 + id_rendered.len() + suffix.len());
+    out.extend_from_slice(b"{\"id\":");
+    out.extend_from_slice(id_rendered.as_bytes());
+    out.extend_from_slice(suffix);
+    out
 }
 
 fn ok_response(id: &Json, kind: &str, result: &Json) -> Vec<u8> {

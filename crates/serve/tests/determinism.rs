@@ -1,7 +1,24 @@
-//! Determinism at the service boundary (the PR's acceptance bar): the
-//! same job set produces byte-identical response bodies per job id
-//! regardless of `CARBON_THREADS`, server worker count, connection
-//! count, or arrival order.
+//! Determinism at the service boundary (the PR 5 acceptance bar,
+//! re-proven every PR since): the same job set produces byte-identical
+//! response bodies per job id regardless of `CARBON_THREADS`, server
+//! worker count, connection count, arrival order — and, since the
+//! response cache landed, regardless of whether a response was solved
+//! fresh, served from the cache, or coalesced onto an identical
+//! in-flight solve.
+//!
+//! For every `CARBON_THREADS` in 1/2/4/8, workers in 1/4, and the
+//! cache enabled (default budget) and disabled (`cache_bytes: 0`):
+//!
+//! - a **cold** pass over a fresh server (every key misses),
+//! - a **warm** pass over the *same* server (with the cache on, every
+//!   key hits),
+//! - a **mixed interleaved** pass over another fresh server, where
+//!   every job is submitted twice with adjacent ids — cold and warm
+//!   requests racing through the queue together, exercising
+//!   single-flight coalescing under multiple connections,
+//!
+//! must all produce responses byte-identical (modulo the echoed id) to
+//! one shared reference across the whole matrix.
 //!
 //! Kept as its own integration-test binary with a single `#[test]` so
 //! the `CARBON_THREADS` environment variable is never mutated
@@ -10,7 +27,7 @@
 use std::collections::BTreeMap;
 
 use carbon_json::Json;
-use carbon_serve::{Client, Server, ServerConfig};
+use carbon_serve::{Client, Server, ServerConfig, DEFAULT_CACHE_BYTES};
 
 const RC_DECK: &str = "* rc low-pass\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n.end\n";
 const DIVIDER_DECK: &str =
@@ -20,10 +37,10 @@ fn nodes(names: &[&str]) -> Json {
     Json::Arr(names.iter().map(|n| Json::Str((*n).to_owned())).collect())
 }
 
-/// The mixed job set, ids `0..n`. Every kind that can complete quickly
+/// The mixed job bodies (no ids). Every kind that can complete quickly
 /// is represented, over two different decks.
-fn job_set() -> Vec<String> {
-    let jobs = vec![
+fn jobs() -> Vec<Json> {
+    vec![
         Json::obj()
             .push("kind", "op")
             .push("deck", RC_DECK)
@@ -66,24 +83,63 @@ fn job_set() -> Vec<String> {
             .push("options", Json::obj().push("lte_reltol", 1e-4))
             .push("nodes", nodes(&["mid"])),
         Json::obj().push("kind", "fig7"),
-    ];
-    jobs.into_iter()
+    ]
+}
+
+/// One pass over the job set: ids `0..n`, one request per job.
+fn single_set() -> Vec<String> {
+    jobs()
+        .into_iter()
         .enumerate()
         .map(|(id, job)| Json::obj().push("id", id).push("job", job).render())
         .collect()
 }
 
-/// Runs the whole job set against one server over `connections`
-/// parallel connections (round-robin assignment) and returns the raw
-/// response bytes keyed by job id.
+/// The mixed cold/warm set: every job twice with adjacent ids
+/// (`2k` and `2k + 1`), so duplicates race through the queue together
+/// and exercise single-flight coalescing. Response for id `i`
+/// describes job `i / 2`.
+fn interleaved_set() -> Vec<String> {
+    jobs()
+        .into_iter()
+        .enumerate()
+        .flat_map(|(k, job)| {
+            [
+                Json::obj()
+                    .push("id", 2 * k)
+                    .push("job", job.clone())
+                    .render(),
+                Json::obj().push("id", 2 * k + 1).push("job", job).render(),
+            ]
+        })
+        .collect()
+}
+
+/// The response bytes from the first comma on — everything except the
+/// echoed `{"id":<id>` prefix, which is the only part of an `ok`
+/// response allowed to differ between requests for the same job.
+fn suffix(body: &[u8]) -> &[u8] {
+    let comma = body
+        .iter()
+        .position(|&b| b == b',')
+        .expect("response has fields beyond id");
+    &body[comma..]
+}
+
+/// Runs `requests` against one server over `connections` parallel
+/// connections (round-robin assignment) and returns the raw response
+/// bytes keyed by job id.
 ///
 /// Each connection also exercises the metrics fast path — a `ping`
 /// before its jobs and a `stats` snapshot after — interleaved with the
 /// queued work. Those responses carry uptime and latency aggregates
 /// (the documented determinism exception), so they are checked for
 /// `ok` but excluded from the byte comparison.
-fn run_set(addr: std::net::SocketAddr, connections: usize) -> BTreeMap<u64, Vec<u8>> {
-    let requests = job_set();
+fn run_set(
+    addr: std::net::SocketAddr,
+    requests: &[String],
+    connections: usize,
+) -> BTreeMap<u64, Vec<u8>> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
@@ -135,55 +191,125 @@ fn fast_path_call(client: &mut Client, kind: &str) {
     );
 }
 
+/// Asserts one pass's responses are all `ok` and byte-identical
+/// (modulo the echoed id) to the reference suffixes, `job_of` mapping
+/// a response id to its job index.
+fn check_against_reference(
+    got: &BTreeMap<u64, Vec<u8>>,
+    reference: &mut Option<BTreeMap<u64, Vec<u8>>>,
+    job_of: impl Fn(u64) -> u64,
+    context: &str,
+) {
+    for (id, body) in got {
+        let text = std::str::from_utf8(body).unwrap();
+        assert!(
+            text.contains("\"status\":\"ok\""),
+            "job {id} not ok under {context}: {text}"
+        );
+    }
+    match reference {
+        None => {
+            *reference = Some(
+                got.iter()
+                    .map(|(id, body)| (job_of(*id), suffix(body).to_vec()))
+                    .collect(),
+            );
+        }
+        Some(reference) => {
+            for (id, body) in got {
+                assert_eq!(
+                    suffix(body),
+                    &reference[&job_of(*id)],
+                    "job {id} response drifted under {context}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
-fn responses_are_byte_identical_across_threads_workers_and_connections() {
+fn responses_are_byte_identical_cold_warm_and_interleaved() {
+    let n = jobs().len() as u64;
     let mut reference: Option<BTreeMap<u64, Vec<u8>>> = None;
     for threads in ["1", "2", "4", "8"] {
         std::env::set_var("CARBON_THREADS", threads);
-        for (workers, connections) in [(1, 1), (4, 1), (1, 4), (4, 4)] {
-            let server = Server::start(
-                "127.0.0.1:0",
-                ServerConfig {
+        for workers in [1usize, 4] {
+            let connections = workers.clamp(1, 4);
+            for cache_bytes in [DEFAULT_CACHE_BYTES, 0] {
+                let config = ServerConfig {
                     workers,
                     queue_depth: 64,
                     default_timeout_ms: None,
-                },
-            )
-            .expect("bind loopback");
-            let got = run_set(server.local_addr(), connections);
-            let stats = server.shutdown();
-            assert_eq!(stats.protocol_errors, 0);
-            // Metrics are always on, and the fast-path traffic rode
-            // along — but only the queued jobs count as admissions.
-            assert_eq!(
-                stats.accepted,
-                job_set().len() as u64,
-                "accepted == job count with metrics on and fast-path traffic interleaved"
-            );
-            assert_eq!(stats.completed, job_set().len() as u64);
-            assert_eq!(
-                got.len(),
-                job_set().len(),
-                "every job answered exactly once"
-            );
-            for (id, body) in &got {
-                let text = std::str::from_utf8(body).unwrap();
-                assert!(
-                    text.contains("\"status\":\"ok\""),
-                    "job {id} not ok under CARBON_THREADS={threads} \
-                     workers={workers} connections={connections}: {text}"
+                    cache_bytes,
+                };
+                let context =
+                    format!("CARBON_THREADS={threads} workers={workers} cache_bytes={cache_bytes}");
+
+                // Cold then warm over one server.
+                let server = Server::start("127.0.0.1:0", config.clone()).expect("bind loopback");
+                let cold = run_set(server.local_addr(), &single_set(), connections);
+                assert_eq!(
+                    cold.len(),
+                    n as usize,
+                    "every job answered once ({context})"
                 );
-            }
-            match &reference {
-                None => reference = Some(got),
-                Some(reference) => {
-                    for (id, body) in &got {
-                        assert_eq!(
-                            body, &reference[id],
-                            "job {id} response drifted under CARBON_THREADS={threads} \
-                             workers={workers} connections={connections}"
-                        );
-                    }
+                check_against_reference(&cold, &mut reference, |id| id, &format!("{context} cold"));
+                let warm = run_set(server.local_addr(), &single_set(), connections);
+                check_against_reference(&warm, &mut reference, |id| id, &format!("{context} warm"));
+                let stats = server.shutdown();
+                assert_eq!(stats.protocol_errors, 0);
+                assert_eq!(stats.accepted, 2 * n, "{context}");
+                assert_eq!(stats.completed, 2 * n, "{context}");
+                assert_eq!(
+                    stats.cache_hits + stats.cache_misses,
+                    stats.accepted,
+                    "every admitted job classified exactly once ({context})"
+                );
+                if cache_bytes > 0 {
+                    // All jobs are distinct, so the cold pass misses n
+                    // times and the warm pass hits n times — exactly.
+                    assert_eq!(stats.cache_hits, n, "warm pass all-hit ({context})");
+                    assert_eq!(stats.cache_misses, n, "cold pass all-miss ({context})");
+                } else {
+                    assert_eq!(stats.cache_hits, 0, "disabled cache never hits ({context})");
+                }
+
+                // Mixed cold/warm interleaved over a fresh server:
+                // each job twice with adjacent ids, racing together.
+                let server = Server::start("127.0.0.1:0", config).expect("bind loopback");
+                let mixed = run_set(server.local_addr(), &interleaved_set(), connections);
+                assert_eq!(mixed.len(), 2 * n as usize, "{context}");
+                check_against_reference(
+                    &mixed,
+                    &mut reference,
+                    |id| id / 2,
+                    &format!("{context} interleaved"),
+                );
+                let stats = server.shutdown();
+                assert_eq!(stats.protocol_errors, 0);
+                assert_eq!(stats.accepted, 2 * n, "{context}");
+                assert_eq!(stats.completed, 2 * n, "{context}");
+                assert_eq!(
+                    stats.cache_hits + stats.cache_misses,
+                    stats.accepted,
+                    "{context}"
+                );
+                if cache_bytes > 0 {
+                    // Whichever twin resolves first leads the solve;
+                    // the other is served from the cache or coalesces
+                    // onto the flight — either way it counts as a hit,
+                    // so the split is exact even under races.
+                    assert_eq!(
+                        stats.cache_hits, n,
+                        "one hit per duplicated job ({context})"
+                    );
+                    assert_eq!(
+                        stats.cache_misses, n,
+                        "one solve per distinct job ({context})"
+                    );
+                } else {
+                    assert_eq!(stats.cache_hits, 0, "{context}");
+                    assert_eq!(stats.cache_misses, 2 * n, "{context}");
                 }
             }
         }

@@ -13,6 +13,7 @@ fn start(workers: usize, queue_depth: usize) -> Server {
             workers,
             queue_depth,
             default_timeout_ms: None,
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback")
@@ -297,13 +298,20 @@ fn stats_reports_counters_gauges_and_per_kind_histograms() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     let op_jobs = 3;
     for i in 0..op_jobs {
+        // Distinct decks, so each job is a cache miss that solves and
+        // records to the per-kind latency histogram (hits record to
+        // `serve.cache.hit_latency_ns` instead — covered in cache.rs).
+        let deck = format!(
+            "* op {i}\nV1 in 0 1\nR1 in out {}\nC1 out 0 1u\n.end\n",
+            1000 + i
+        );
         let response = client
             .call(
                 &Json::obj().push("id", i).push(
                     "job",
                     Json::obj()
                         .push("kind", "op")
-                        .push("deck", RC_DECK)
+                        .push("deck", deck)
                         .push("nodes", nodes(&["out"])),
                 ),
             )
@@ -329,6 +337,8 @@ fn stats_reports_counters_gauges_and_per_kind_histograms() {
     assert_eq!(get(counters, "serve.timed_out"), Some(0));
     assert_eq!(get(counters, "serve.stats"), Some(1));
     assert!(get(counters, "serve.worker_busy_ns").unwrap() > 0);
+    assert_eq!(get(counters, "serve.cache.hit"), Some(0));
+    assert_eq!(get(counters, "serve.cache.miss"), Some(op_jobs));
 
     let gauges = result.get("gauges").unwrap();
     assert_eq!(get(gauges, "serve.workers"), Some(2));
